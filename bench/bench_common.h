@@ -1,0 +1,34 @@
+// bench_common.h — shared helpers for the benchmark harness binaries.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "topology/placement.h"
+#include "trace/synthetic.h"
+
+namespace cl::bench {
+
+/// Prints the standard banner: which paper artefact this binary
+/// regenerates, at which scale and seed (for reproducibility).
+inline void banner(const std::string& artefact, const std::string& note) {
+  std::cout << "\n================================================================\n"
+            << "Consume Local (ICDCS 2018) reproduction — " << artefact << "\n"
+            << note << "\n"
+            << "================================================================\n";
+}
+
+/// The London metro used by every experiment.
+inline const Metro& metro() {
+  static const Metro m = Metro::london_top5();
+  return m;
+}
+
+inline void print_trace_scale(const TraceConfig& config) {
+  std::cout << "workload: synthetic scaled London month (seed "
+            << config.seed << ", " << config.days << " days, "
+            << config.users << " users; paper: 3.3M users / 23.5M sessions"
+            << " — see DESIGN.md for the scaling substitution)\n\n";
+}
+
+}  // namespace cl::bench

@@ -1,0 +1,73 @@
+// fig4_daily_savings — regenerates paper Fig. 4: aggregate daily energy
+// savings across ISPs over a month, data-driven simulation (sim.) vs the
+// analytical model (theo.), for both energy parameter sets.
+//
+// The paper plots ISP-1, ISP-4 and ISP-5 and reports ~30 % (Valancius) /
+// ~18 % (Baliga) average savings for the biggest ISP.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/analyzer.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cl;
+  bench::banner("Fig. 4 — daily aggregate savings per ISP (sim vs theory)",
+                "paper: ~30% (Valancius) / ~18% (Baliga) for the biggest "
+                "ISP, stable across the month");
+
+  const TraceConfig config = TraceConfig::london_month_scaled();
+  bench::print_trace_scale(config);
+  TraceGenerator gen(config, bench::metro());
+  const Trace trace = gen.generate();
+
+  const Analyzer analyzer(bench::metro(), SimConfig{});
+  const auto report = analyzer.daily_report(trace);
+
+  const std::size_t isps[] = {0, 3, 4};  // ISP-1, ISP-4, ISP-5 as in Fig. 4
+  for (std::size_t m = 0; m < report.models.size(); ++m) {
+    std::cout << "\n" << report.models[m]
+              << " — daily savings (columns: sim. and theo. per ISP):\n";
+    TextTable table({"day", "ISP-1 sim", "ISP-1 theo", "ISP-4 sim",
+                     "ISP-4 theo", "ISP-5 sim", "ISP-5 theo"});
+    for (std::size_t d = 0; d < report.sim[m].size(); ++d) {
+      std::vector<std::string> row{std::to_string(d + 1)};
+      for (std::size_t isp : isps) {
+        row.push_back(fmt(report.sim[m][d][isp], 4));
+        row.push_back(fmt(report.theory[m][d][isp], 4));
+      }
+      table.add_row(row);
+    }
+    table.print(std::cout);
+
+    // Month averages + agreement, per ISP.
+    std::cout << "month averages (" << report.models[m] << "):\n";
+    for (std::size_t isp = 0; isp < bench::metro().isp_count(); ++isp) {
+      std::vector<double> sim_series, theo_series;
+      for (std::size_t d = 0; d < report.sim[m].size(); ++d) {
+        sim_series.push_back(report.sim[m][d][isp]);
+        theo_series.push_back(report.theory[m][d][isp]);
+      }
+      const auto sim_summary = summarize(sim_series);
+      const auto theo_summary = summarize(theo_series);
+      std::cout << "  " << bench::metro().isp(isp).name() << ": sim "
+                << fmt_pct(sim_summary.mean) << " (min "
+                << fmt_pct(sim_summary.min) << ", max "
+                << fmt_pct(sim_summary.max) << "), theory "
+                << fmt_pct(theo_summary.mean) << ", MARE "
+                << fmt_pct(mean_abs_relative_error(sim_series, theo_series))
+                << "\n";
+    }
+  }
+
+  std::cout << "\nwhole-system headline (paper: 24-48% depending on model "
+               "and factors):\n";
+  const auto outcomes = analyzer.aggregate(trace);
+  for (const auto& o : outcomes) {
+    std::cout << "  " << o.model << ": sim " << fmt_pct(o.sim_savings)
+              << ", theory " << fmt_pct(o.theory_savings) << ", offload G = "
+              << fmt_pct(o.offload) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// fig5_cct_components — regenerates paper Fig. 5: energy savings of each
+// party (End-to-End, CDN, User) and the carbon-credit transfer balance as
+// a function of swarm capacity, for both energy parameter sets.
+//
+// Pure closed-form sweep (no simulation): capacities span 1e-3..1e4 on a
+// log grid exactly as the paper's x-axis.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/planner.h"
+#include "model/carbon_credit.h"
+#include "model/savings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cl;
+  bench::banner("Fig. 5 — component savings vs swarm capacity",
+                "paper: users end at +18% (Valancius) / +58% (Baliga) "
+                "carbon positive as G -> 1");
+
+  for (const auto& params : standard_params()) {
+    const SavingsModel model(params, bench::metro().isp(0));
+    std::cout << "\n" << params.name << " parameters:\n";
+    TextTable table(
+        {"capacity", "End-to-End", "CDN", "User", "CC Transfer"});
+    for (double log_c = -3.0; log_c <= 4.01; log_c += 0.5) {
+      const double c = std::pow(10.0, log_c);
+      const auto comp = model.components(c, 1.0);
+      table.add_row({fmt_sci(c, 1), fmt(comp.end_to_end, 4),
+                     fmt(comp.cdn, 4), fmt(comp.user, 4),
+                     fmt(comp.carbon_credit_transfer, 4)});
+    }
+    table.print(std::cout);
+
+    const Planner planner(model);
+    std::cout << "asymptotes & crossings (" << params.name << "):\n"
+              << "  CCT ceiling (G->1): " << fmt_pct(cct_ceiling(params))
+              << "  (paper: +18% Valancius / +58% Baliga)\n"
+              << "  carbon-neutral offload G*: "
+              << fmt_pct(carbon_neutral_offload(params)) << "\n"
+              << "  capacity where users turn carbon neutral (q/b=1): "
+              << fmt(planner.carbon_neutral_capacity(1.0), 1) << "\n"
+              << "  end-to-end savings ceiling: "
+              << fmt_pct(model.savings_ceiling(1.0)) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// table4_energy_params — regenerates paper Table IV: the per-bit energy
+// parameters of the Valancius et al. and Baliga et al. models, plus the
+// derived per-bit cost functions (Eqs. 4–6) the rest of the system uses.
+#include <iostream>
+
+#include "bench_common.h"
+#include "energy/cost_functions.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cl;
+  bench::banner("Table IV — energy parameters (nJ/bit)",
+                "paper values reproduced exactly; derived ψ rows added");
+
+  TextTable table({"Variable", "Valancius, nJ/bit", "Baliga, nJ/bit"});
+  const auto v = valancius_params();
+  const auto b = baliga_params();
+  auto row = [&](const char* name, double x, double y, int precision = 2) {
+    table.add_row({name, fmt(x, precision), fmt(y, precision)});
+  };
+  row("Content Server (gamma_s)", v.gamma_server.value(),
+      b.gamma_server.value());
+  row("End User Modem (gamma_m)", v.gamma_modem.value(),
+      b.gamma_modem.value());
+  row("Traditional CDN Network (gamma_cdn)", v.gamma_cdn.value(),
+      b.gamma_cdn.value());
+  row("P2P Network within ExP (gamma_exp)",
+      v.gamma_p2p_at(LocalityLevel::kExchangePoint).value(),
+      b.gamma_p2p_at(LocalityLevel::kExchangePoint).value());
+  row("P2P Network within PoP (gamma_pop)",
+      v.gamma_p2p_at(LocalityLevel::kPop).value(),
+      b.gamma_p2p_at(LocalityLevel::kPop).value());
+  row("P2P Network within Core (gamma_core)",
+      v.gamma_p2p_at(LocalityLevel::kCore).value(),
+      b.gamma_p2p_at(LocalityLevel::kCore).value());
+  row("Power Efficiency (PUE)", v.pue, b.pue);
+  row("End-user energy loss (l)", v.loss, b.loss);
+  table.print(std::cout);
+
+  std::cout << "\nDerived per-bit cost functions (Eqs. 4-6):\n";
+  TextTable derived({"quantity", "Valancius", "Baliga"});
+  const CostFunctions cv(v), cb(b);
+  derived.add_row({"psi_s (server path)", fmt(cv.psi_server().value(), 2),
+                   fmt(cb.psi_server().value(), 2)});
+  derived.add_row({"psi_p^m (2 modems)", fmt(cv.psi_peer_modem().value(), 2),
+                   fmt(cb.psi_peer_modem().value(), 2)});
+  for (auto level : kAllLocalityLevels) {
+    derived.add_row({"psi_p @ " + std::string(to_string(level)),
+                     fmt(cv.psi_peer(level).value(), 2),
+                     fmt(cb.psi_peer(level).value(), 2)});
+  }
+  derived.print(std::cout);
+
+  std::cout << "\nper-bit P2P-vs-server verdict (the paper's core trade-off):\n";
+  for (const auto& params : standard_params()) {
+    const CostFunctions costs(params);
+    for (auto level : kAllLocalityLevels) {
+      std::cout << "  " << params.name << " @ " << to_string(level) << ": "
+                << (costs.peer_wins(level) ? "peer wins" : "server wins")
+                << " (" << fmt(costs.psi_peer(level).value(), 1) << " vs "
+                << fmt(costs.psi_server().value(), 1) << " nJ/bit)\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// carbon_credits — the carbon credit transfer scheme end to end.
+//
+// Simulates a scaled London month, opens a per-user carbon ledger under
+// both energy models, and shows who streams carbon-free, who doesn't and
+// why (niche content = small swarms = few credits).
+//
+// Usage:  ./build/examples/carbon_credits
+#include <algorithm>
+#include <iostream>
+
+#include "core/analyzer.h"
+#include "core/carbon_ledger.h"
+#include "core/report.h"
+#include "trace/synthetic.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cl;
+  const Metro metro = Metro::london_top5();
+  TraceGenerator gen(TraceConfig::london_month_scaled(/*days=*/10), metro);
+  const Trace trace = gen.generate();
+
+  const Analyzer analyzer(metro, SimConfig{});
+  const SimResult result = analyzer.simulate(trace);
+
+  for (const EnergyParams& params : analyzer.models()) {
+    const CarbonLedger ledger(result, params);
+    std::cout << "\n== " << params.name << " ==\n";
+    print_ledger_summary(std::cout, ledger);
+
+    // The best and worst balances illustrate the paper's point: heavy
+    // sharers of popular content offset far more than they consume, while
+    // niche-content viewers keep their full footprint.
+    auto entries = ledger.entries();
+    std::sort(entries.begin(), entries.end(),
+              [](const LedgerEntry& a, const LedgerEntry& b) {
+                return a.cct > b.cct;
+              });
+    TextTable table({"user", "downloaded (GB)", "uploaded (GB)", "CCT"});
+    std::cout << "top sharers:\n";
+    for (std::size_t i = 0; i < 3 && i < entries.size(); ++i) {
+      const auto& e = entries[i];
+      table.add_row({std::to_string(e.user), fmt(e.downloaded.gigabytes(), 2),
+                     fmt(e.uploaded.gigabytes(), 2), fmt(e.cct, 3)});
+    }
+    table.print(std::cout);
+    std::size_t negative = 0;
+    for (const auto& e : entries) {
+      if (e.cct < 0) ++negative;
+    }
+    std::cout << "users still carbon negative: " << negative << " of "
+              << entries.size()
+              << " (they mostly watch niche items with tiny swarms)\n";
+  }
+  return 0;
+}

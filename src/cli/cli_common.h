@@ -1,0 +1,54 @@
+// cli_common.h — helpers shared by the CLI subcommands.
+#pragma once
+
+#include <iostream>
+
+#include "sim/sim_config.h"
+#include "topology/placement.h"
+#include "trace/synthetic.h"
+#include "trace/trace_io.h"
+#include "util/args.h"
+#include "util/error.h"
+
+namespace cl::cli {
+
+/// The London metro every command runs against.
+inline const Metro& metro() {
+  static const Metro m = Metro::london_top5();
+  return m;
+}
+
+/// Loads --trace PATH, or generates a scaled synthetic month when the
+/// flag is absent (--days / --seed apply to the generated fallback).
+inline Trace load_or_generate(const Args& args) {
+  if (const auto path = args.get("trace")) {
+    return read_trace_file(*path);
+  }
+  TraceConfig config =
+      TraceConfig::london_month_scaled(args.get_double("days", 10));
+  config.seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<std::int64_t>(config.seed)));
+  std::cout << "(no --trace given: generating a scaled synthetic month, "
+            << config.days << " days, seed " << config.seed << ")\n";
+  return TraceGenerator(config, metro()).generate();
+}
+
+/// Builds the simulator configuration from the shared flags.
+inline SimConfig sim_config_from(const Args& args) {
+  SimConfig config;
+  config.q_over_beta = args.get_double("qb", 1.0);
+  config.isp_friendly = !args.has("cross-isp");
+  config.split_by_bitrate = !args.has("mixed-bitrate");
+  const std::string matcher = args.get_or("matcher", "existence");
+  if (matcher == "existence") {
+    config.matcher = MatcherKind::kExistence;
+  } else if (matcher == "capacity") {
+    config.matcher = MatcherKind::kCapacity;
+  } else {
+    throw ParseError("unknown matcher '" + matcher +
+                     "' (existence|capacity)");
+  }
+  return config;
+}
+
+}  // namespace cl::cli

@@ -1,0 +1,57 @@
+// cmd_generate — synthesise a workload trace and write it as CSV.
+#include <iostream>
+
+#include "cli/commands.h"
+#include "core/report.h"
+#include "topology/placement.h"
+#include "trace/synthetic.h"
+#include "trace/trace_io.h"
+#include "trace/trace_stats.h"
+#include "util/error.h"
+
+namespace cl::cli {
+
+namespace {
+
+TraceConfig preset_config(const Args& args) {
+  const std::string preset = args.get_or("preset", "london");
+  TraceConfig config;
+  if (preset == "london") {
+    config = TraceConfig::london_month_scaled(args.get_double("days", 30));
+  } else if (preset == "small") {
+    config.days = args.get_double("days", 7);
+    config.users = 5000;
+    config.exemplar_views = {20000, 2000};
+    config.catalogue_tail = 300;
+    config.tail_views = 20000;
+  } else {
+    throw ParseError("unknown preset '" + preset + "' (london|small)");
+  }
+  config.days = args.get_double("days", config.days);
+  config.seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<std::int64_t>(config.seed)));
+  config.users = static_cast<std::uint32_t>(
+      args.get_int("users", static_cast<std::int64_t>(config.users)));
+  return config;
+}
+
+}  // namespace
+
+int cmd_generate(const Args& args) {
+  const auto out_path = args.get("out");
+  if (!out_path) throw ParseError("generate requires --out PATH");
+  const TraceConfig config = preset_config(args);
+  const Metro metro = Metro::london_top5();
+  TraceGenerator generator(config, metro);
+  const Trace trace = generator.generate();
+  write_trace_file(*out_path, trace);
+  if (!args.has("quiet")) {
+    std::cout << "wrote " << trace.size() << " sessions ("
+              << config.days << " days, seed " << config.seed << ") to "
+              << *out_path << "\n\n";
+    print_trace_stats(std::cout, compute_stats(trace), trace.span);
+  }
+  return 0;
+}
+
+}  // namespace cl::cli

@@ -1,0 +1,52 @@
+// cmd_ledger — per-user carbon credit accounting over a trace.
+#include <iostream>
+
+#include "cli/cli_common.h"
+#include "cli/commands.h"
+#include "core/analyzer.h"
+#include "core/carbon_ledger.h"
+#include "core/report.h"
+
+namespace cl::cli {
+
+int cmd_ledger(const Args& args) {
+  const Trace trace = load_or_generate(args);
+  const Analyzer analyzer(metro(), sim_config_from(args));
+  const SimResult result = analyzer.simulate(trace);
+  for (const auto& params : analyzer.models()) {
+    std::cout << "\n";
+    print_ledger_summary(std::cout, CarbonLedger(result, params));
+  }
+  return 0;
+}
+
+int usage(int exit_code) {
+  std::cout <<
+      R"(consumelocal — carbon-aware hybrid CDN analysis
+(reproduction of "Consume Local: Towards Carbon Free Content Delivery",
+ ICDCS 2018)
+
+usage: consumelocal COMMAND [flags]
+
+commands:
+  generate  --out PATH [--preset london|small] [--days N] [--seed S]
+            [--users N]           write a synthetic workload trace (CSV)
+  simulate  [--trace PATH] [--qb R] [--cross-isp] [--mixed-bitrate]
+            [--matcher existence|capacity]
+                                  aggregate hybrid-vs-CDN savings report
+  swarm     [--trace PATH] --content ID [--isp I] [--qb R]
+                                  one swarm, simulation vs closed form
+  model     [--capacity C] [--qb R]
+                                  evaluate Eqs. 3/12/13 (no simulation)
+  plan      [--target S] [--qb R] [--minutes M]
+                                  capacities & popularity for targets
+  ledger    [--trace PATH] [--qb R]
+                                  per-user carbon credit ledger
+
+Commands that accept --trace generate a scaled synthetic London month when
+the flag is omitted.
+)";
+  return exit_code;
+}
+
+}  // namespace cl::cli

@@ -1,0 +1,46 @@
+// cmd_plan — invert the model for planning targets.
+#include <iostream>
+
+#include "cli/cli_common.h"
+#include "cli/commands.h"
+#include "core/planner.h"
+#include "model/carbon_credit.h"
+#include "util/table.h"
+
+namespace cl::cli {
+
+int cmd_plan(const Args& args) {
+  const double target = args.get_double("target", 0.2);
+  const double qb = args.get_double("qb", 1.0);
+  const Seconds episode =
+      Seconds::from_minutes(args.get_double("minutes", 30));
+  std::cout << "\nplanning for S >= " << fmt_pct(target) << " at q/b = " << qb
+            << " (" << episode.minutes() << "-minute programmes):\n\n";
+  TextTable table({"model", "capacity for target",
+                   "views/month for target", "carbon-neutral capacity",
+                   "carbon-neutral views/month", "ceiling S"});
+  for (const auto& params : standard_params()) {
+    const SavingsModel model(params, metro().isp(0));
+    const Planner planner(model);
+    std::string cap = "unreachable", views = "-", ncap = "unreachable",
+                nviews = "-";
+    try {
+      const double c = planner.capacity_for_savings(target, qb);
+      cap = fmt(c, 2);
+      views = fmt(planner.views_per_month_for_capacity(c, episode), 0);
+    } catch (const InvalidArgument&) {
+    }
+    try {
+      const double c = planner.carbon_neutral_capacity(qb);
+      ncap = fmt(c, 2);
+      nviews = fmt(planner.views_per_month_for_capacity(c, episode), 0);
+    } catch (const InvalidArgument&) {
+    }
+    table.add_row({params.name, cap, views, ncap, nviews,
+                   fmt_pct(model.savings_ceiling(qb))});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace cl::cli

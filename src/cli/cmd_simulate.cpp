@@ -1,0 +1,20 @@
+// cmd_simulate — aggregate hybrid-vs-CDN savings over a trace.
+#include <iostream>
+
+#include "cli/cli_common.h"
+#include "cli/commands.h"
+#include "core/analyzer.h"
+#include "core/report.h"
+
+namespace cl::cli {
+
+int cmd_simulate(const Args& args) {
+  const Trace trace = load_or_generate(args);
+  const Analyzer analyzer(metro(), sim_config_from(args));
+  std::cout << "\nsessions: " << trace.size() << ", span "
+            << trace.span.value() / 86400.0 << " days\n\n";
+  print_aggregate(std::cout, analyzer.aggregate(trace));
+  return 0;
+}
+
+}  // namespace cl::cli

@@ -1,0 +1,41 @@
+// commands.h — the subcommands of the `consumelocal` command-line tool.
+//
+// Each command takes parsed Args, does its work against stdout and
+// returns a process exit code. main.cpp dispatches on Args::command().
+#pragma once
+
+#include "util/args.h"
+
+namespace cl::cli {
+
+/// `generate` — write a synthetic trace CSV.
+///   --out PATH (required), --days N, --seed S, --users N,
+///   --preset london|small
+int cmd_generate(const Args& args);
+
+/// `simulate` — run the hybrid-CDN simulator over a trace and print the
+/// aggregate savings report.
+///   --trace PATH (required; or --preset to self-generate), --qb R,
+///   --cross-isp, --mixed-bitrate, --matcher existence|capacity
+int cmd_simulate(const Args& args);
+
+/// `swarm` — analyze one content swarm: sim vs theory (a Fig. 2 dot).
+///   --trace PATH, --content ID, --isp I, --qb R
+int cmd_swarm(const Args& args);
+
+/// `model` — evaluate the closed form at a capacity (no simulation).
+///   --capacity C, --qb R
+int cmd_model(const Args& args);
+
+/// `plan` — invert the model: capacities for savings/carbon targets.
+///   --target S, --qb R, --minutes M
+int cmd_plan(const Args& args);
+
+/// `ledger` — per-user carbon credit ledger over a trace.
+///   --trace PATH (or --preset), --qb R
+int cmd_ledger(const Args& args);
+
+/// Prints usage to stdout; returns the given exit code.
+int usage(int exit_code);
+
+}  // namespace cl::cli

@@ -1,0 +1,58 @@
+// main.cpp — `consumelocal`, the command-line front end of the library.
+//
+//   consumelocal generate --out month.csv --days 30
+//   consumelocal simulate --trace month.csv
+//   consumelocal swarm    --trace month.csv --content 0 --isp 0
+//   consumelocal model    --capacity 50 --qb 1.0
+//   consumelocal plan     --target 0.3
+//   consumelocal ledger   --trace month.csv
+#include <exception>
+#include <iostream>
+
+#include "cli/commands.h"
+#include "util/args.h"
+#include "util/error.h"
+
+int main(int argc, char** argv) {
+  using namespace cl;
+  using namespace cl::cli;
+  try {
+    const Args args = Args::parse(
+        argc, argv, {"cross-isp", "mixed-bitrate", "help", "quiet"});
+    if (args.has("help")) return usage(0);
+    const std::string& command = args.command();
+    int code = 0;
+    if (command == "generate") {
+      code = cmd_generate(args);
+    } else if (command == "simulate") {
+      code = cmd_simulate(args);
+    } else if (command == "swarm") {
+      code = cmd_swarm(args);
+    } else if (command == "model") {
+      code = cmd_model(args);
+    } else if (command == "plan") {
+      code = cmd_plan(args);
+    } else if (command == "ledger") {
+      code = cmd_ledger(args);
+    } else {
+      if (!command.empty()) {
+        std::cerr << "unknown command: '" << command << "'\n\n";
+      }
+      return usage(command.empty() ? 0 : 2);
+    }
+    for (const auto& flag : args.unused()) {
+      std::cerr << "warning: flag --" << flag << " was ignored by '"
+                << command << "'\n";
+    }
+    return code;
+  } catch (const ParseError& e) {
+    std::cerr << "argument error: " << e.what() << "\n";
+    return 2;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "fatal: " << e.what() << "\n";
+    return 1;
+  }
+}

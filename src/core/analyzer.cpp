@@ -1,0 +1,211 @@
+#include "core/analyzer.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "util/error.h"
+
+namespace cl {
+
+namespace {
+
+/// Accumulation key for per-(swarm, day) theory aggregation.
+struct KeyDay {
+  std::uint64_t packed = 0;
+  std::uint32_t day = 0;
+  friend bool operator==(const KeyDay&, const KeyDay&) = default;
+};
+
+struct KeyDayHash {
+  std::size_t operator()(const KeyDay& k) const noexcept {
+    std::uint64_t z = k.packed ^ (static_cast<std::uint64_t>(k.day) << 40);
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};
+
+}  // namespace
+
+Analyzer::Analyzer(const Metro& metro, SimConfig sim_config,
+                   std::vector<EnergyParams> models)
+    : metro_(&metro), sim_config_(sim_config), models_(std::move(models)) {
+  CL_EXPECTS(!models_.empty());
+  for (const auto& m : models_) m.validate();
+}
+
+SimResult Analyzer::simulate(const Trace& trace) const {
+  return HybridSimulator(*metro_, sim_config_).run(trace);
+}
+
+SavingsModel Analyzer::savings_model(std::size_t model_index,
+                                     std::size_t isp_index) const {
+  CL_EXPECTS(model_index < models_.size());
+  return SavingsModel(models_[model_index], metro_->isp(isp_index));
+}
+
+SwarmExperiment Analyzer::analyze_swarm(const Trace& trace,
+                                        std::size_t isp_for_theory) const {
+  SimConfig config = sim_config_;
+  config.collect_per_day = false;
+  config.collect_per_user = false;
+  config.collect_swarms = false;
+  const SimResult result = HybridSimulator(*metro_, config).run(trace);
+
+  SwarmExperiment experiment;
+  experiment.sessions = trace.sessions.size();
+  double watch = 0;
+  for (const auto& s : trace.sessions) watch += s.duration;
+  experiment.capacity =
+      trace.span.value() > 0 ? watch / trace.span.value() : 0;
+
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    const SavingsModel model = savings_model(m, isp_for_theory);
+    const EnergyAccountant accountant{CostFunctions(models_[m])};
+    ModelOutcome outcome;
+    outcome.model = models_[m].name;
+    outcome.sim_savings = accountant.savings(result.total);
+    outcome.sim_offload = result.total.offload_fraction();
+    outcome.theory_savings =
+        model.savings(experiment.capacity, sim_config_.q_over_beta);
+    outcome.theory_offload =
+        model.offload(experiment.capacity, sim_config_.q_over_beta);
+    experiment.models.push_back(std::move(outcome));
+  }
+  return experiment;
+}
+
+std::vector<std::vector<std::vector<double>>> Analyzer::theory_daily(
+    const Trace& trace) const {
+  const auto days = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(trace.span.value() / 86400.0)));
+  const std::size_t isps = metro_->isp_count();
+
+  // Pass 1: watch-seconds per (swarm, day) -> per-swarm daily capacity.
+  std::unordered_map<KeyDay, double, KeyDayHash> watch;
+  watch.reserve(trace.sessions.size());
+  for (const auto& s : trace.sessions) {
+    const SwarmKey key = swarm_key_for(s, sim_config_);
+    const auto day = static_cast<std::uint32_t>(s.start / 86400.0);
+    watch[KeyDay{key.packed(), day}] += s.duration;
+  }
+
+  // Pre-built closed-form models per (energy column, ISP tree).
+  std::vector<std::vector<SavingsModel>> model_grid;
+  model_grid.reserve(models_.size());
+  for (const auto& params : models_) {
+    std::vector<SavingsModel> row;
+    row.reserve(isps);
+    for (std::size_t i = 0; i < isps; ++i) {
+      row.emplace_back(params, metro_->isp(i));
+    }
+    model_grid.push_back(std::move(row));
+  }
+
+  // Pass 2: volume-weighted Eq. 12 per (model, day, isp).
+  std::vector num(models_.size(),
+                  std::vector(days, std::vector<double>(isps, 0.0)));
+  std::vector den(days, std::vector<double>(isps, 0.0));
+  for (const auto& s : trace.sessions) {
+    const SwarmKey key = swarm_key_for(s, sim_config_);
+    const auto day = static_cast<std::uint32_t>(s.start / 86400.0);
+    const double capacity =
+        watch.at(KeyDay{key.packed(), day}) / 86400.0;
+    const double volume = s.volume().value();
+    den[day][s.isp] += volume;
+    for (std::size_t m = 0; m < models_.size(); ++m) {
+      const double savings = model_grid[m][s.isp].savings(
+          capacity, sim_config_.q_over_beta);
+      num[m][day][s.isp] += savings * volume;
+    }
+  }
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    for (std::size_t d = 0; d < days; ++d) {
+      for (std::size_t i = 0; i < isps; ++i) {
+        num[m][d][i] = den[d][i] > 0 ? num[m][d][i] / den[d][i] : 0.0;
+      }
+    }
+  }
+  return num;
+}
+
+DailyReport Analyzer::daily_report(const Trace& trace) const {
+  SimConfig config = sim_config_;
+  config.collect_per_day = true;
+  config.collect_per_user = false;
+  config.collect_swarms = false;
+  const SimResult result = HybridSimulator(*metro_, config).run(trace);
+
+  DailyReport report;
+  report.theory = theory_daily(trace);
+  for (const auto& params : models_) {
+    report.models.push_back(params.name);
+    const EnergyAccountant accountant{CostFunctions(params)};
+    report.sim.push_back(daily_savings(result, accountant));
+  }
+  return report;
+}
+
+SwarmDistributions Analyzer::swarm_distributions(const Trace& trace) const {
+  SimConfig config = sim_config_;
+  config.collect_per_day = false;
+  config.collect_per_user = false;
+  config.collect_swarms = true;
+  const SimResult result = HybridSimulator(*metro_, config).run(trace);
+
+  SwarmDistributions dist;
+  dist.capacities.reserve(result.swarms.size());
+  for (const auto& swarm : result.swarms) {
+    dist.capacities.push_back(swarm.capacity);
+  }
+  for (const auto& params : models_) {
+    dist.models.push_back(params.name);
+    const EnergyAccountant accountant{CostFunctions(params)};
+    std::vector<double> savings;
+    savings.reserve(result.swarms.size());
+    for (const auto& swarm : result.swarms) {
+      savings.push_back(swarm_savings(swarm, accountant));
+    }
+    dist.savings.push_back(std::move(savings));
+  }
+  return dist;
+}
+
+std::vector<AggregateOutcome> Analyzer::aggregate(const Trace& trace) const {
+  SimConfig config = sim_config_;
+  config.collect_per_day = false;
+  config.collect_per_user = false;
+  config.collect_swarms = true;
+  const SimResult result = HybridSimulator(*metro_, config).run(trace);
+
+  std::vector<AggregateOutcome> outcomes;
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    const EnergyAccountant accountant{CostFunctions(models_[m])};
+    AggregateOutcome outcome;
+    outcome.model = models_[m].name;
+    outcome.sim_savings = accountant.savings(result.total);
+    outcome.offload = result.total.offload_fraction();
+    outcome.baseline_energy = accountant.baseline(result.total.total()).total();
+    outcome.hybrid_energy = accountant.hybrid(result.total).total();
+
+    double num = 0, den = 0;
+    std::vector<SavingsModel> per_isp;
+    for (std::size_t i = 0; i < metro_->isp_count(); ++i) {
+      per_isp.emplace_back(models_[m], metro_->isp(i));
+    }
+    for (const auto& swarm : result.swarms) {
+      const double volume = swarm.traffic.total().value();
+      if (volume <= 0) continue;
+      const std::size_t isp = swarm.key.has_isp() ? swarm.key.isp : 0;
+      num += per_isp[isp].savings(swarm.capacity, sim_config_.q_over_beta) *
+             volume;
+      den += volume;
+    }
+    outcome.theory_savings = den > 0 ? num / den : 0.0;
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+}  // namespace cl

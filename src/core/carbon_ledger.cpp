@@ -1,0 +1,72 @@
+#include "core/carbon_ledger.h"
+
+#include <algorithm>
+
+#include "model/carbon_credit.h"
+#include "util/stats.h"
+
+namespace cl {
+
+CarbonLedger::CarbonLedger(const SimResult& result, EnergyParams params)
+    : params_(std::move(params)) {
+  params_.validate();
+  entries_.reserve(result.users.size());
+  for (const auto& [user, traffic] : result.users) {
+    LedgerEntry entry;
+    entry.user = user;
+    entry.downloaded = traffic.downloaded;
+    entry.uploaded = traffic.uploaded;
+    entry.cct = per_user_cct(traffic.downloaded, traffic.uploaded, params_);
+    entries_.push_back(entry);
+  }
+  std::sort(entries_.begin(), entries_.end(),
+            [](const LedgerEntry& a, const LedgerEntry& b) {
+              return a.user < b.user;
+            });
+}
+
+std::vector<double> CarbonLedger::cct_values() const {
+  std::vector<double> values;
+  values.reserve(entries_.size());
+  for (const auto& e : entries_) values.push_back(e.cct);
+  return values;
+}
+
+double CarbonLedger::fraction_carbon_free() const {
+  if (entries_.empty()) return 0.0;
+  std::size_t positive = 0;
+  for (const auto& e : entries_) {
+    if (e.cct >= 0) ++positive;
+  }
+  return static_cast<double>(positive) / static_cast<double>(entries_.size());
+}
+
+double CarbonLedger::median_cct() const {
+  auto values = cct_values();
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  return quantile_sorted(values, 0.5);
+}
+
+Energy CarbonLedger::total_credits() const {
+  Bits uploaded;
+  for (const auto& e : entries_) uploaded += e.uploaded;
+  return credit_energy(uploaded, params_);
+}
+
+Energy CarbonLedger::total_user_energy() const {
+  Bits down, up;
+  for (const auto& e : entries_) {
+    down += e.downloaded;
+    up += e.uploaded;
+  }
+  return user_energy(down, up, params_);
+}
+
+double CarbonLedger::system_cct() const {
+  const double credits = total_credits().value();
+  const double spent = total_user_energy().value();
+  return spent > 0 ? (credits - spent) / spent : 0.0;
+}
+
+}  // namespace cl

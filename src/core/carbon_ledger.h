@@ -1,0 +1,63 @@
+// carbon_ledger.h — the per-user carbon credit ledger (paper Section V,
+// Fig. 6).
+//
+// Converts a simulation's per-user byte totals into carbon credit
+// transfers: each user earns PUE·γs per uploaded bit (the server energy
+// their uploads displaced) and owes l·γm per bit their modem moved. The
+// normalised balance is the per-user CCT of Eq. 13; users with CCT >= 0
+// stream carbon-free.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "energy/energy_params.h"
+#include "sim/metrics.h"
+
+namespace cl {
+
+/// One user's ledger entry.
+struct LedgerEntry {
+  std::uint32_t user = 0;
+  Bits downloaded;
+  Bits uploaded;
+  double cct = 0;  ///< normalised balance; >= 0 means carbon-free streaming
+};
+
+/// Per-user carbon accounting for one simulation run under one energy
+/// model.
+class CarbonLedger {
+ public:
+  /// Requires `result` to have been produced with collect_per_user = true.
+  CarbonLedger(const SimResult& result, EnergyParams params);
+
+  [[nodiscard]] const EnergyParams& params() const { return params_; }
+  [[nodiscard]] const std::vector<LedgerEntry>& entries() const {
+    return entries_;
+  }
+
+  /// All per-user CCT values (same order as entries()).
+  [[nodiscard]] std::vector<double> cct_values() const;
+
+  /// Fraction of users with CCT >= 0 (carbon-neutral or positive) — the
+  /// paper's ">70 % of users become carbon positive" metric.
+  [[nodiscard]] double fraction_carbon_free() const;
+
+  /// Median per-user CCT.
+  [[nodiscard]] double median_cct() const;
+
+  /// Total credits issued by the CDN: PUE·γs · (all uploaded bits).
+  [[nodiscard]] Energy total_credits() const;
+
+  /// Total user-side energy: l·γm · (all downloaded + uploaded bits).
+  [[nodiscard]] Energy total_user_energy() const;
+
+  /// System-wide CCT: Eq. 13 evaluated on the aggregate byte flows.
+  [[nodiscard]] double system_cct() const;
+
+ private:
+  EnergyParams params_;
+  std::vector<LedgerEntry> entries_;
+};
+
+}  // namespace cl

@@ -1,0 +1,82 @@
+#include "core/planner.h"
+
+#include <cmath>
+
+#include "model/carbon_credit.h"
+#include "util/error.h"
+
+namespace cl {
+
+namespace {
+constexpr double kLoCapacity = 1e-6;
+constexpr double kHiCapacity = 1e7;
+}  // namespace
+
+Planner::Planner(SavingsModel model) : model_(std::move(model)) {}
+
+template <class F>
+double Planner::invert(F&& f) const {
+  if (f(kLoCapacity) >= 0) return 0.0;
+  if (f(kHiCapacity) < 0) {
+    throw InvalidArgument("planning target unreachable at any swarm capacity");
+  }
+  double lo = kLoCapacity, hi = kHiCapacity;
+  // Bisection on the (monotone) margin; 200 iterations saturate double
+  // precision over this range.
+  for (int iter = 0; iter < 200 && (hi - lo) / hi > 1e-12; ++iter) {
+    const double mid = std::sqrt(lo * hi);  // geometric: curves live in log-c
+    if (f(mid) >= 0) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double Planner::break_even_capacity(double q_over_beta) const {
+  return invert(
+      [&](double c) { return model_.savings(c, q_over_beta); });
+}
+
+double Planner::capacity_for_savings(double target,
+                                     double q_over_beta) const {
+  CL_EXPECTS(target >= 0);
+  if (target >= model_.savings_ceiling(q_over_beta)) {
+    throw InvalidArgument(
+        "savings target exceeds the asymptotic ceiling of the model");
+  }
+  return invert(
+      [&](double c) { return model_.savings(c, q_over_beta) - target; });
+}
+
+double Planner::carbon_neutral_capacity(double q_over_beta) const {
+  const double g_star = carbon_neutral_offload(model_.params());
+  // G(c) is increasing with ceiling min(q/β, 1); fail fast if unreachable.
+  const double ceiling = model_.offload(kHiCapacity, q_over_beta);
+  if (g_star >= ceiling) {
+    throw InvalidArgument(
+        "carbon neutrality unreachable: required offload " +
+        std::to_string(g_star) + " exceeds achievable " +
+        std::to_string(ceiling));
+  }
+  return invert(
+      [&](double c) { return model_.offload(c, q_over_beta) - g_star; });
+}
+
+double Planner::views_per_month_for_capacity(double capacity,
+                                             Seconds mean_duration) const {
+  CL_EXPECTS(capacity >= 0);
+  CL_EXPECTS(mean_duration.value() > 0);
+  return capacity * Seconds::from_days(30).value() / mean_duration.value();
+}
+
+double Planner::capacity_for_views_per_month(double views_per_month,
+                                             Seconds mean_duration) const {
+  CL_EXPECTS(views_per_month >= 0);
+  CL_EXPECTS(mean_duration.value() > 0);
+  return views_per_month * mean_duration.value() /
+         Seconds::from_days(30).value();
+}
+
+}  // namespace cl

@@ -1,0 +1,56 @@
+// planner.h — network-planning utilities built on the closed form.
+//
+// The paper notes (Section IV.B.2) that Eq. 12's agreement with simulation
+// makes it usable "for network planning purposes". The Planner answers the
+// natural planning questions by inverting the monotone savings and offload
+// curves: what capacity does a swarm need before hybrid delivery (a) stops
+// hurting, (b) reaches a target saving, (c) makes its users carbon
+// neutral — and how many monthly views does that capacity correspond to.
+#pragma once
+
+#include "model/savings.h"
+#include "util/units.h"
+
+namespace cl {
+
+/// Closed-form planning on one SavingsModel.
+class Planner {
+ public:
+  explicit Planner(SavingsModel model);
+
+  [[nodiscard]] const SavingsModel& model() const { return model_; }
+
+  /// Smallest capacity at which S(c) >= 0. Returns 0 when savings are
+  /// positive for every capacity (the usual case for both paper models).
+  [[nodiscard]] double break_even_capacity(double q_over_beta) const;
+
+  /// Smallest capacity at which S(c) >= target. Throws cl::InvalidArgument
+  /// when the target exceeds the asymptotic ceiling.
+  [[nodiscard]] double capacity_for_savings(double target,
+                                            double q_over_beta) const;
+
+  /// Smallest capacity at which the *system-level* CCT (Eq. 13 at G(c))
+  /// reaches zero, i.e. participating users stream carbon-free. Throws
+  /// cl::InvalidArgument when unreachable (offload ceiling too low).
+  [[nodiscard]] double carbon_neutral_capacity(double q_over_beta) const;
+
+  /// Monthly views corresponding to a capacity, for items of the given
+  /// mean watch duration: views = c · (30 days) / u.
+  [[nodiscard]] double views_per_month_for_capacity(
+      double capacity, Seconds mean_duration) const;
+
+  /// Capacity of an item with the given monthly views and mean duration:
+  /// c = u · r (Little's law).
+  [[nodiscard]] double capacity_for_views_per_month(
+      double views_per_month, Seconds mean_duration) const;
+
+ private:
+  /// Bisects the smallest c in [1e-6, 1e7] with f(c) >= 0 for a monotone
+  /// non-decreasing f; returns 0 when already satisfied at the lower end.
+  template <class F>
+  [[nodiscard]] double invert(F&& f) const;
+
+  SavingsModel model_;
+};
+
+}  // namespace cl

@@ -1,0 +1,65 @@
+#include "core/report.h"
+
+#include "util/table.h"
+
+namespace cl {
+
+void print_trace_stats(std::ostream& out, const TraceStats& stats,
+                       Seconds span) {
+  TextTable table({"metric", "value"});
+  table.add_row({"span (days)", fmt(span.value() / 86400.0, 1)});
+  table.add_row({"sessions", fmt_count(stats.sessions)});
+  table.add_row({"distinct users", fmt_count(stats.distinct_users)});
+  table.add_row(
+      {"distinct IP addresses", fmt_count(stats.distinct_households)});
+  table.add_row({"distinct contents", fmt_count(stats.distinct_contents)});
+  table.add_row({"total watch hours",
+                 fmt_count(static_cast<std::uint64_t>(
+                     stats.total_watch_time.hours()))});
+  table.add_row(
+      {"total volume (GB)", fmt(stats.total_volume.gigabytes(), 1)});
+  table.add_row({"mean session (min)",
+                 fmt(stats.mean_session_duration.minutes(), 1)});
+  table.add_row({"mean concurrency", fmt(stats.mean_concurrency, 1)});
+  table.print(out);
+}
+
+void print_swarm_experiment(std::ostream& out, const SwarmExperiment& e) {
+  out << "sessions: " << e.sessions
+      << "   measured capacity c = " << fmt(e.capacity, 3) << "\n";
+  TextTable table({"model", "S (sim)", "S (theory)", "G (sim)", "G (theory)"});
+  for (const auto& m : e.models) {
+    table.add_row({m.model, fmt(m.sim_savings), fmt(m.theory_savings),
+                   fmt(m.sim_offload), fmt(m.theory_offload)});
+  }
+  table.print(out);
+}
+
+void print_aggregate(std::ostream& out,
+                     const std::vector<AggregateOutcome>& outcomes) {
+  TextTable table({"model", "S (sim)", "S (theory)", "G", "baseline (kWh)",
+                   "hybrid (kWh)"});
+  for (const auto& o : outcomes) {
+    table.add_row({o.model, fmt_pct(o.sim_savings), fmt_pct(o.theory_savings),
+                   fmt_pct(o.offload), fmt(o.baseline_energy.kwh(), 2),
+                   fmt(o.hybrid_energy.kwh(), 2)});
+  }
+  table.print(out);
+}
+
+void print_ledger_summary(std::ostream& out, const CarbonLedger& ledger) {
+  TextTable table({"metric", "value"});
+  table.add_row({"energy model", ledger.params().name});
+  table.add_row({"users", fmt_count(ledger.entries().size())});
+  table.add_row(
+      {"carbon-free users", fmt_pct(ledger.fraction_carbon_free())});
+  table.add_row({"median per-user CCT", fmt(ledger.median_cct(), 3)});
+  table.add_row({"system CCT", fmt(ledger.system_cct(), 3)});
+  table.add_row({"credits issued (kWh)",
+                 fmt(ledger.total_credits().kwh(), 3)});
+  table.add_row({"user energy (kWh)",
+                 fmt(ledger.total_user_energy().kwh(), 3)});
+  table.print(out);
+}
+
+}  // namespace cl

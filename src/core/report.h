@@ -1,0 +1,29 @@
+// report.h — human-readable rendering of analyzer results.
+//
+// Shared by the examples and the bench harness so the library's outputs
+// look the same everywhere.
+#pragma once
+
+#include <ostream>
+
+#include "core/analyzer.h"
+#include "core/carbon_ledger.h"
+#include "trace/trace_stats.h"
+
+namespace cl {
+
+/// Prints a Table-I-style description of a trace.
+void print_trace_stats(std::ostream& out, const TraceStats& stats,
+                       Seconds span);
+
+/// Prints one swarm's simulation-vs-theory outcome.
+void print_swarm_experiment(std::ostream& out, const SwarmExperiment& e);
+
+/// Prints the whole-trace headline numbers.
+void print_aggregate(std::ostream& out,
+                     const std::vector<AggregateOutcome>& outcomes);
+
+/// Prints the carbon ledger summary (not the full per-user list).
+void print_ledger_summary(std::ostream& out, const CarbonLedger& ledger);
+
+}  // namespace cl

@@ -1,0 +1,56 @@
+#include "energy/accounting.h"
+
+namespace cl {
+
+Bits TrafficBreakdown::total() const { return server + peer_total(); }
+
+Bits TrafficBreakdown::peer_total() const {
+  Bits sum;
+  for (const auto& p : peer) sum += p;
+  sum += cross_isp;
+  return sum;
+}
+
+double TrafficBreakdown::offload_fraction() const {
+  const Bits t = total();
+  return t.value() > 0 ? peer_total().value() / t.value() : 0.0;
+}
+
+TrafficBreakdown& TrafficBreakdown::operator+=(const TrafficBreakdown& other) {
+  server += other.server;
+  for (std::size_t i = 0; i < peer.size(); ++i) peer[i] += other.peer[i];
+  cross_isp += other.cross_isp;
+  return *this;
+}
+
+EnergyBreakdown EnergyAccountant::hybrid(const TrafficBreakdown& t) const {
+  EnergyBreakdown e;
+  e.server_side = costs_.cdn_side_per_bit() * t.server;
+  for (auto level : kAllLocalityLevels) {
+    e.peer_network += costs_.psi_peer_network(level) * t.peer[index(level)];
+  }
+  e.peer_network +=
+      EnergyPerBit{costs_.params().pue *
+                   costs_.params().gamma_cross_isp.value()} *
+      t.cross_isp;
+  // Modem energy: every delivered bit is downloaded once (l·γm); peer bits
+  // are additionally uploaded once by another user's modem (l·γm again).
+  e.user_modem = costs_.user_side_per_bit() * t.total() +
+                 costs_.user_side_per_bit() * t.peer_total();
+  return e;
+}
+
+EnergyBreakdown EnergyAccountant::baseline(Bits useful_volume) const {
+  EnergyBreakdown e;
+  e.server_side = costs_.cdn_side_per_bit() * useful_volume;
+  e.user_modem = costs_.user_side_per_bit() * useful_volume;
+  return e;
+}
+
+double EnergyAccountant::savings(const TrafficBreakdown& t) const {
+  const Energy base = baseline(t.total()).total();
+  if (base.value() <= 0) return 0.0;
+  return 1.0 - hybrid(t).total().value() / base.value();
+}
+
+}  // namespace cl

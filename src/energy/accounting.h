@@ -1,0 +1,75 @@
+// accounting.h — byte-flow ledger that converts delivered traffic into
+// energy under a CostFunctions instance.
+//
+// The simulator records *what moved where* (server bytes, peer bytes per
+// locality level); this ledger owns the conversion into joules so the same
+// flow record can be priced under several energy models (the paper prices
+// every experiment under both Valancius and Baliga parameters).
+#pragma once
+
+#include <array>
+
+#include "energy/cost_functions.h"
+#include "topology/locality.h"
+#include "util/units.h"
+
+namespace cl {
+
+/// Pure traffic record: how many bits were delivered by each path.
+struct TrafficBreakdown {
+  Bits server;  ///< delivered from CDN servers
+  std::array<Bits, kLocalityLevels> peer{};  ///< P2P, by locality level
+  Bits cross_isp;  ///< P2P across ISP boundaries (ablation only)
+
+  /// Total bits delivered to users.
+  [[nodiscard]] Bits total() const;
+
+  /// Total bits delivered by peers across all levels.
+  [[nodiscard]] Bits peer_total() const;
+
+  /// Offloaded fraction G = peer_total / total (0 when nothing delivered).
+  [[nodiscard]] double offload_fraction() const;
+
+  TrafficBreakdown& operator+=(const TrafficBreakdown& other);
+  friend TrafficBreakdown operator+(TrafficBreakdown a,
+                                    const TrafficBreakdown& b) {
+    a += b;
+    return a;
+  }
+};
+
+/// Energy totals for one delivery scenario, split by where the energy is
+/// burned. Used for both the hybrid run and the pure-CDN baseline.
+struct EnergyBreakdown {
+  Energy server_side;   ///< PUE·(γs+γcdn) on server-delivered bits
+  Energy peer_network;  ///< PUE·γp2p on peer-delivered bits
+  Energy user_modem;    ///< l·γm on all downloads + uploads
+
+  [[nodiscard]] Energy total() const {
+    return server_side + peer_network + user_modem;
+  }
+};
+
+/// Prices a TrafficBreakdown under one energy model.
+class EnergyAccountant {
+ public:
+  explicit EnergyAccountant(CostFunctions costs) : costs_(std::move(costs)) {}
+
+  [[nodiscard]] const CostFunctions& costs() const { return costs_; }
+
+  /// Energy of the hybrid run: server bits at ψs's components, peer bits at
+  /// ψp's components (modem counted twice on peer bits: up + down).
+  [[nodiscard]] EnergyBreakdown hybrid(const TrafficBreakdown& t) const;
+
+  /// Energy of the pure-CDN baseline delivering the same useful volume.
+  [[nodiscard]] EnergyBreakdown baseline(Bits useful_volume) const;
+
+  /// End-to-end savings S = 1 − E_hybrid / E_baseline (Eq. 1); 0 when the
+  /// baseline is empty.
+  [[nodiscard]] double savings(const TrafficBreakdown& t) const;
+
+ private:
+  CostFunctions costs_;
+};
+
+}  // namespace cl

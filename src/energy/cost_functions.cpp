@@ -1,0 +1,48 @@
+#include "energy/cost_functions.h"
+
+namespace cl {
+
+CostFunctions::CostFunctions(EnergyParams params) : params_(std::move(params)) {
+  params_.validate();
+}
+
+EnergyPerBit CostFunctions::psi_server() const {
+  return EnergyPerBit{params_.pue * (params_.gamma_server.value() +
+                                     params_.gamma_cdn.value()) +
+                      params_.loss * params_.gamma_modem.value()};
+}
+
+EnergyPerBit CostFunctions::psi_peer_modem() const {
+  return EnergyPerBit{2.0 * params_.loss * params_.gamma_modem.value()};
+}
+
+EnergyPerBit CostFunctions::psi_peer_network(LocalityLevel level) const {
+  return EnergyPerBit{params_.pue * params_.gamma_p2p_at(level).value()};
+}
+
+EnergyPerBit CostFunctions::psi_peer(LocalityLevel level) const {
+  return psi_peer_modem() + psi_peer_network(level);
+}
+
+Energy CostFunctions::server_energy(Bits volume) const {
+  return psi_server() * volume;
+}
+
+Energy CostFunctions::peer_energy(Bits volume, LocalityLevel level) const {
+  return psi_peer(level) * volume;
+}
+
+bool CostFunctions::peer_wins(LocalityLevel level) const {
+  return psi_peer(level).value() < psi_server().value();
+}
+
+EnergyPerBit CostFunctions::cdn_side_per_bit() const {
+  return EnergyPerBit{params_.pue * (params_.gamma_server.value() +
+                                     params_.gamma_cdn.value())};
+}
+
+EnergyPerBit CostFunctions::user_side_per_bit() const {
+  return EnergyPerBit{params_.loss * params_.gamma_modem.value()};
+}
+
+}  // namespace cl

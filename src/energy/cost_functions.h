@@ -1,0 +1,63 @@
+// cost_functions.h — the per-bit energy cost functions of Section III.D.
+//
+// Two delivery paths exist in a hybrid CDN:
+//
+//   server -> user :  ψs = PUE·(γs + γcdn) + l·γm            (Eq. 4)
+//   peer   -> peer :  ψp = 2·l·γm + PUE·γp2p(level)          (Eq. 6)
+//
+// ψp splits into a swarm-size-independent modem part ψpᵐ = 2lγm (both the
+// uploader's and downloader's premises equipment are active) and a
+// locality-dependent network part ψpʳ = PUE·γp2p.
+#pragma once
+
+#include "energy/energy_params.h"
+#include "topology/locality.h"
+#include "util/units.h"
+
+namespace cl {
+
+/// Per-bit cost functions derived from one EnergyParams column.
+///
+/// A small value type: cheap to copy, all methods pure.
+class CostFunctions {
+ public:
+  explicit CostFunctions(EnergyParams params);
+
+  [[nodiscard]] const EnergyParams& params() const { return params_; }
+
+  /// ψs — per-bit energy of server-based delivery (Eq. 4).
+  [[nodiscard]] EnergyPerBit psi_server() const;
+
+  /// ψpᵐ = 2·l·γm — per-bit modem/CPE energy of P2P delivery (uploader +
+  /// downloader premises equipment).
+  [[nodiscard]] EnergyPerBit psi_peer_modem() const;
+
+  /// ψpʳ(level) = PUE·γp2p(level) — per-bit network energy of P2P delivery
+  /// between peers localised at `level`.
+  [[nodiscard]] EnergyPerBit psi_peer_network(LocalityLevel level) const;
+
+  /// Full ψp(level) = ψpᵐ + ψpʳ(level) (Eq. 6).
+  [[nodiscard]] EnergyPerBit psi_peer(LocalityLevel level) const;
+
+  /// Energy of delivering `volume` bits from the CDN: Ψs(T) = T·ψs.
+  [[nodiscard]] Energy server_energy(Bits volume) const;
+
+  /// Energy of delivering `volume` bits between peers at `level`.
+  [[nodiscard]] Energy peer_energy(Bits volume, LocalityLevel level) const;
+
+  /// True iff P2P delivery at `level` beats server delivery per bit —
+  /// the paper's core trade-off (edge equipment traversed twice vs a
+  /// shorter path).
+  [[nodiscard]] bool peer_wins(LocalityLevel level) const;
+
+  /// CDN-side per-bit cost PUE·(γs+γcdn): used for Fig. 5's CDN component.
+  [[nodiscard]] EnergyPerBit cdn_side_per_bit() const;
+
+  /// User-side per-bit cost l·γm of plain (non-sharing) consumption.
+  [[nodiscard]] EnergyPerBit user_side_per_bit() const;
+
+ private:
+  EnergyParams params_;
+};
+
+}  // namespace cl

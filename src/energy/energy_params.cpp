@@ -1,0 +1,81 @@
+#include "energy/energy_params.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace cl {
+
+void EnergyParams::validate() const {
+  CL_EXPECTS(gamma_server.value() > 0);
+  CL_EXPECTS(gamma_modem.value() > 0);
+  CL_EXPECTS(gamma_cdn.value() > 0);
+  for (auto level : kAllLocalityLevels) {
+    CL_EXPECTS(gamma_p2p_at(level).value() > 0);
+  }
+  // Monotone locality: a more local path never costs more per bit.
+  CL_EXPECTS(gamma_p2p[0].value() <= gamma_p2p[1].value());
+  CL_EXPECTS(gamma_p2p[1].value() <= gamma_p2p[2].value());
+  CL_EXPECTS(gamma_cross_isp.value() >= gamma_p2p[2].value());
+  CL_EXPECTS(pue >= 1.0);
+  CL_EXPECTS(loss >= 1.0);
+}
+
+EnergyParams valancius_params() {
+  EnergyParams p;
+  p.name = "Valancius";
+  p.gamma_server = EnergyPerBit{211.1};
+  p.gamma_modem = EnergyPerBit{100.0};
+  // Hop-count model at 150 nJ/bit/hop: CDN 7 hops, ExP 2, PoP 4, Core 6.
+  p.gamma_cdn = EnergyPerBit{7 * 150.0};
+  p.gamma_p2p[index(LocalityLevel::kExchangePoint)] = EnergyPerBit{2 * 150.0};
+  p.gamma_p2p[index(LocalityLevel::kPop)] = EnergyPerBit{4 * 150.0};
+  p.gamma_p2p[index(LocalityLevel::kCore)] = EnergyPerBit{6 * 150.0};
+  p.gamma_cross_isp = EnergyPerBit{7 * 150.0};
+  p.pue = 1.2;
+  p.loss = 1.07;
+  p.validate();
+  return p;
+}
+
+EnergyParams baliga_params() {
+  EnergyParams p;
+  p.name = "Baliga";
+  p.gamma_server = EnergyPerBit{281.3};
+  p.gamma_modem = EnergyPerBit{100.0};
+  p.gamma_cdn = EnergyPerBit{142.5};
+  p.gamma_p2p[index(LocalityLevel::kExchangePoint)] = EnergyPerBit{144.86};
+  p.gamma_p2p[index(LocalityLevel::kPop)] = EnergyPerBit{197.48};
+  p.gamma_p2p[index(LocalityLevel::kCore)] = EnergyPerBit{245.74};
+  p.gamma_cross_isp = EnergyPerBit{295.0};
+  p.pue = 1.2;
+  p.loss = 1.07;
+  p.validate();
+  return p;
+}
+
+EnergyParams hop_count_params(std::string name, EnergyPerBit per_hop,
+                              int cdn_hops, int exp_hops, int pop_hops,
+                              int core_hops) {
+  CL_EXPECTS(per_hop.value() > 0);
+  CL_EXPECTS(cdn_hops > 0 && exp_hops > 0 && pop_hops > 0 && core_hops > 0);
+  EnergyParams p = valancius_params();
+  p.name = std::move(name);
+  p.gamma_cdn = EnergyPerBit{per_hop.value() * cdn_hops};
+  p.gamma_p2p[index(LocalityLevel::kExchangePoint)] =
+      EnergyPerBit{per_hop.value() * exp_hops};
+  p.gamma_p2p[index(LocalityLevel::kPop)] =
+      EnergyPerBit{per_hop.value() * pop_hops};
+  p.gamma_p2p[index(LocalityLevel::kCore)] =
+      EnergyPerBit{per_hop.value() * core_hops};
+  p.gamma_cross_isp =
+      EnergyPerBit{per_hop.value() * std::max(core_hops, cdn_hops)};
+  p.validate();
+  return p;
+}
+
+std::vector<EnergyParams> standard_params() {
+  return {valancius_params(), baliga_params()};
+}
+
+}  // namespace cl

@@ -1,0 +1,78 @@
+// energy_params.h — per-bit energy parameter sets (paper Table IV).
+//
+// The paper evaluates every result under two independently developed energy
+// models to bracket the uncertainty in "energy per bit" figures:
+//
+//  * Valancius et al. [34] ("Greening the Internet with Nano Data Centers"):
+//    network segments cost h × 150 nJ/bit where h is the hop count
+//    (CDN path: 7 hops; peers within the core: 6; within a PoP: 4; within
+//    an exchange point: 2).
+//  * Baliga et al. [6] ("Green Cloud Computing"): per-equipment data-sheet
+//    figures summed along each path.
+//
+// Both share PUE = 1.2 (data-centre/network redundancy overhead) and
+// l = 1.07 (end-user premises energy loss factor).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/locality.h"
+#include "util/units.h"
+
+namespace cl {
+
+/// One column of Table IV: every per-bit constant the model needs.
+struct EnergyParams {
+  std::string name;  ///< "Valancius" or "Baliga" (or a custom label)
+
+  EnergyPerBit gamma_server;  ///< γs — content server, per bit served
+  EnergyPerBit gamma_modem;   ///< γm — end-user modem / CPE, per bit
+  EnergyPerBit gamma_cdn;     ///< γcdn — network path user <-> CDN node
+
+  /// γexp / γpop / γcore — network path between two peers localised at the
+  /// given layer of the ISP tree (indexed by LocalityLevel).
+  EnergyPerBit gamma_p2p[kLocalityLevels];
+
+  /// γcross — network path between peers in *different* ISPs (crosses both
+  /// metros and an exchange/peering point). Not part of the paper's model
+  /// (its swarms are ISP-friendly); used only by the cross-ISP ablation.
+  /// Defaults: Valancius 7×150 nJ/bit (a CDN-length path), Baliga 295 nJ/bit
+  /// (core path plus peering/transit crossing).
+  EnergyPerBit gamma_cross_isp;
+
+  double pue = 1.2;  ///< power usage efficiency multiplier
+  double loss = 1.07;  ///< l — end-user equipment energy loss factor
+
+  /// γ for P2P traffic localised at `level`.
+  [[nodiscard]] EnergyPerBit gamma_p2p_at(LocalityLevel level) const {
+    return gamma_p2p[index(level)];
+  }
+
+  /// Validates all invariants the model relies on:
+  /// positive γs, γexp <= γpop <= γcore <= γcdn is NOT required by the
+  /// maths, but γexp <= γpop <= γcore (monotone locality) is. Throws
+  /// cl::InvalidArgument on violation.
+  void validate() const;
+};
+
+/// Table IV, Valancius et al. column.
+[[nodiscard]] EnergyParams valancius_params();
+
+/// Table IV, Baliga et al. column.
+[[nodiscard]] EnergyParams baliga_params();
+
+/// Builds a Valancius-style hop-count model: every hop costs
+/// `per_hop` nJ/bit; the CDN path has `cdn_hops` hops and peer paths have
+/// {exp_hops, pop_hops, core_hops}. Server/modem/PUE/loss are taken from
+/// the Valancius defaults unless overridden afterwards.
+[[nodiscard]] EnergyParams hop_count_params(std::string name,
+                                            EnergyPerBit per_hop,
+                                            int cdn_hops, int exp_hops,
+                                            int pop_hops, int core_hops);
+
+/// Both standard parameter sets, in paper order. Convenience for benches
+/// that sweep over energy models.
+[[nodiscard]] std::vector<EnergyParams> standard_params();
+
+}  // namespace cl

@@ -1,0 +1,94 @@
+#include "ext/adoption.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/offload.h"
+#include "model/swarm_model.h"
+#include "util/error.h"
+
+namespace cl {
+
+void AdoptionConfig::uniform_thresholds(std::size_t n, double lo, double hi) {
+  CL_EXPECTS(n >= 1);
+  CL_EXPECTS(lo <= hi);
+  thresholds.clear();
+  thresholds.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = n == 1 ? 0.5 : static_cast<double>(i) /
+                                        static_cast<double>(n - 1);
+    thresholds.push_back(lo + (hi - lo) * t);
+  }
+}
+
+AdoptionModel::AdoptionModel(SavingsModel model) : model_(std::move(model)) {}
+
+double AdoptionModel::cct_at(double participation,
+                             const AdoptionConfig& config) const {
+  CL_EXPECTS(participation >= 0 && participation <= 1);
+  const auto& params = model_.params();
+  // Peer-servable demand fraction at this capacity (the (L-1)^+/L term).
+  const double demand = offload_fraction(config.swarm_capacity, 1.0);
+  if (participation <= 0 || demand <= 0) {
+    // A lone would-be sharer: evaluate the supply-limited payoff — the
+    // entry incentive for the very first participant.
+    const double u = std::min(config.q_over_beta, 1.0) * demand;
+    const double spent =
+        params.loss * params.gamma_modem.value() * (1.0 + u);
+    const double earned = params.pue * params.gamma_server.value() * u;
+    return (earned - spent) / spent;
+  }
+  const double ratio = std::min(config.q_over_beta, 1.0);
+  // Supply-limited: every participant uploads at their bandwidth cap.
+  // Demand-limited: the offloadable demand is split across participants.
+  const double per_participant_upload =
+      std::min(ratio * demand, demand / participation);
+  const double spent = params.loss * params.gamma_modem.value() *
+                       (1.0 + per_participant_upload);
+  const double earned = params.pue * params.gamma_server.value() *
+                        per_participant_upload;
+  return (earned - spent) / spent;
+}
+
+double AdoptionModel::willing_fraction(double cct,
+                                       const std::vector<double>& thresholds) {
+  CL_EXPECTS(!thresholds.empty());
+  std::size_t willing = 0;
+  for (double t : thresholds) {
+    if (cct >= t) ++willing;
+  }
+  return static_cast<double>(willing) /
+         static_cast<double>(thresholds.size());
+}
+
+AdoptionResult AdoptionModel::solve(const AdoptionConfig& config) const {
+  CL_EXPECTS(!config.thresholds.empty());
+  CL_EXPECTS(config.initial_participation >= 0 &&
+             config.initial_participation <= 1);
+  AdoptionResult result;
+  double a = config.initial_participation;
+  result.trajectory.push_back(a);
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    const double cct = cct_at(a, config);
+    const double target = willing_fraction(cct, config.thresholds);
+    // Damped update: the best-response map is decreasing in a, so a plain
+    // iteration can two-cycle; averaging guarantees convergence.
+    const double next = 0.5 * (a + target);
+    result.trajectory.push_back(next);
+    if (std::abs(next - a) < config.tolerance) {
+      a = next;
+      result.converged = true;
+      break;
+    }
+    a = next;
+  }
+  result.participation = a;
+  result.cct = cct_at(a, config);
+  const double effective_ratio =
+      std::min(1.0, a * std::min(config.q_over_beta, 1.0));
+  result.offload = model_.offload(config.swarm_capacity, effective_ratio);
+  result.savings = model_.savings(config.swarm_capacity, effective_ratio);
+  return result;
+}
+
+}  // namespace cl

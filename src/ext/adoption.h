@@ -1,0 +1,82 @@
+// adoption.h — incentive-driven participation model (the paper's future
+// work: "building a viable economic model of user behaviour" [37][21]).
+//
+// The paper's concluding observation is that only ~30 % of Akamai
+// NetSession users opt into uploading, and that carbon credit transfers
+// could be the missing incentive. This module closes that loop with a
+// fixed-point model:
+//
+//   * a fraction a ∈ [0, 1] of users participates (shares upload);
+//   * only participants upload, so the *effective* per-user upload ratio
+//     is a·(q/β) — non-participants still stream (and still count in the
+//     swarm's demand);
+//   * participation pays off when the resulting CCT clears the user's
+//     adoption threshold; thresholds are heterogeneous (some users join
+//     for any positive credit, some need a big surplus);
+//   * tomorrow's participation is the fraction of users whose threshold
+//     the current CCT clears — iterate to the fixed point.
+//
+// The dynamics are congestion-shaped: early sharers serve a lot of demand
+// each and earn large credits; as participation grows the same offloadable
+// demand is split over more uploaders, diluting per-participant credits
+// until the marginal user's threshold is hit — a unique interior fixed
+// point for popular content, and near-zero participation for niche content
+// whose swarms never generate credits worth sharing for.
+#pragma once
+
+#include <vector>
+
+#include "model/savings.h"
+
+namespace cl {
+
+/// Configuration of the adoption dynamics.
+struct AdoptionConfig {
+  double swarm_capacity = 50;  ///< capacity of the content the cohort watches
+  double q_over_beta = 1.0;    ///< upload ratio of participants
+  /// Adoption thresholds: user i participates when CCT >= thresholds[i].
+  /// Defaults (set by uniform_thresholds) span [-0.5, 0.5]: some users
+  /// join while still slightly carbon-negative (altruists), others demand
+  /// a sizeable positive balance.
+  std::vector<double> thresholds;
+  double initial_participation = 0.3;  ///< seeded fraction (Akamai's ~30 %)
+  std::size_t max_iterations = 1000;
+  double tolerance = 1e-9;
+
+  /// Fills `thresholds` with `n` values uniformly spaced over [lo, hi].
+  void uniform_thresholds(std::size_t n, double lo, double hi);
+};
+
+/// One step of the dynamics, and the trajectory to the fixed point.
+struct AdoptionResult {
+  double participation = 0;  ///< fixed-point participation fraction
+  double cct = 0;            ///< CCT experienced at the fixed point
+  double offload = 0;        ///< system offload fraction at the fixed point
+  double savings = 0;        ///< end-to-end savings at the fixed point
+  bool converged = false;
+  std::vector<double> trajectory;  ///< participation after each iteration
+};
+
+/// Incentive fixed-point solver over one SavingsModel.
+class AdoptionModel {
+ public:
+  explicit AdoptionModel(SavingsModel model);
+
+  /// CCT experienced by participants when a fraction `participation` of
+  /// the swarm shares: offload uses the reduced effective upload ratio,
+  /// credits accrue to participants only.
+  [[nodiscard]] double cct_at(double participation,
+                              const AdoptionConfig& config) const;
+
+  /// Fraction of users whose threshold the given CCT clears.
+  [[nodiscard]] static double willing_fraction(
+      double cct, const std::vector<double>& thresholds);
+
+  /// Iterates participation -> CCT -> participation to a fixed point.
+  [[nodiscard]] AdoptionResult solve(const AdoptionConfig& config) const;
+
+ private:
+  SavingsModel model_;
+};
+
+}  // namespace cl

@@ -1,0 +1,54 @@
+#include "ext/live.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace cl {
+
+Trace generate_live_event(const Metro& metro, const LiveEventConfig& config,
+                          std::uint64_t seed) {
+  CL_EXPECTS(config.viewers >= 1);
+  CL_EXPECTS(config.event_start_s >= 0);
+  CL_EXPECTS(config.join_jitter_s > 0);
+  CL_EXPECTS(config.mean_watch_s > 0);
+  CL_EXPECTS(config.span_days > 0);
+
+  Rng rng(seed ^ 0xbf58476d1ce4e5b9ULL);
+  const DiscreteSampler bitrate_sampler(std::vector<double>(
+      config.bitrate_mix.begin(), config.bitrate_mix.end()));
+  const double span_s = config.span_days * 86400.0;
+  const double mu = std::log(config.mean_watch_s) -
+                    0.5 * config.watch_sigma * config.watch_sigma;
+
+  Trace trace;
+  trace.span = Seconds{span_s};
+  trace.sessions.reserve(config.viewers);
+  for (std::uint32_t u = 0; u < config.viewers; ++u) {
+    SessionRecord s;
+    s.user = u;
+    s.household = u;
+    s.content = config.content_id;
+    s.isp = metro.sample_isp(rng);
+    s.exp = metro.place_user(s.isp, rng).exp;
+    s.bitrate = kAllBitrateClasses[bitrate_sampler(rng)];
+    s.start = config.event_start_s +
+              rng.exponential(1.0 / config.join_jitter_s);
+    s.duration = rng.lognormal(mu, config.watch_sigma);
+    if (s.start >= span_s) s.start = span_s - 1.0;
+    if (s.end() > span_s) s.duration = span_s - s.start;
+    trace.sessions.push_back(s);
+  }
+  std::sort(trace.sessions.begin(), trace.sessions.end(),
+            [](const SessionRecord& a, const SessionRecord& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.user < b.user;
+            });
+  trace.validate();
+  return trace;
+}
+
+}  // namespace cl

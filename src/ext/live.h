@@ -1,0 +1,40 @@
+// live.h — live-streaming workload extension (paper's future work,
+// ref [32] "Facebook (A)Live?").
+//
+// A live broadcast is the best case for peer assistance: every viewer
+// consumes the same content at the same time, so the instantaneous swarm
+// equals the whole audience. This module synthesises a live-event trace
+// (viewers join around the event start with exponential-ish jitter and
+// leave after log-normal watch times) that plugs into the standard
+// simulator and model.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/placement.h"
+#include "trace/bitrate.h"
+#include "trace/session.h"
+
+namespace cl {
+
+/// Configuration of one synthetic live event.
+struct LiveEventConfig {
+  std::uint32_t viewers = 5000;   ///< audience size
+  double event_start_s = 3600;    ///< event start, seconds from epoch
+  double join_jitter_s = 120;     ///< mean exponential join delay
+  double mean_watch_s = 1500;     ///< mean log-normal watch time
+  double watch_sigma = 0.6;       ///< log-normal sigma of watch time
+  double span_days = 1;           ///< trace span
+  std::uint32_t content_id = 0;   ///< content id of the broadcast
+  /// Device mix over bitrate classes (mobile-heavy by default: live
+  /// audiences skew to phones).
+  std::array<double, kBitrateClasses> bitrate_mix{0.45, 0.30, 0.15, 0.10};
+};
+
+/// Generates the live-event trace over a metro's ISPs. Deterministic in
+/// `seed`; viewers get fresh user ids 0..viewers-1.
+[[nodiscard]] Trace generate_live_event(const Metro& metro,
+                                        const LiveEventConfig& config,
+                                        std::uint64_t seed);
+
+}  // namespace cl

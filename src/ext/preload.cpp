@@ -1,0 +1,44 @@
+#include "ext/preload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace cl {
+
+Trace apply_preload(const Trace& trace, const PreloadConfig& config,
+                    std::uint64_t seed) {
+  CL_EXPECTS(config.adoption >= 0 && config.adoption <= 1);
+  CL_EXPECTS(config.window_start_hour >= 0);
+  CL_EXPECTS(config.window_end_hour > config.window_start_hour);
+  CL_EXPECTS(config.window_end_hour <= 24);
+
+  Rng rng(seed ^ 0x9d39247e33776d41ULL);
+  Trace out;
+  out.span = trace.span;
+  out.sessions.reserve(trace.sessions.size());
+  const double span_s = trace.span.value();
+  for (SessionRecord s : trace.sessions) {
+    if (rng.bernoulli(config.adoption)) {
+      const double day = std::floor(s.start / 86400.0);
+      const double hour = rng.uniform(config.window_start_hour,
+                                      config.window_end_hour);
+      s.start = day * 86400.0 + hour * 3600.0;
+      if (s.start >= span_s) s.start = span_s - 1.0;
+      if (s.end() > span_s) s.duration = span_s - s.start;
+    }
+    out.sessions.push_back(s);
+  }
+  std::sort(out.sessions.begin(), out.sessions.end(),
+            [](const SessionRecord& a, const SessionRecord& b) {
+              if (a.start != b.start) return a.start < b.start;
+              if (a.content != b.content) return a.content < b.content;
+              return a.user < b.user;
+            });
+  out.validate();
+  return out;
+}
+
+}  // namespace cl

@@ -1,0 +1,37 @@
+// preload.h — predictive preloading extension (paper's future work,
+// ref [17] "Take-Away TV").
+//
+// Predictive preloading downloads the content a user is expected to watch
+// during a concentrated off-peak window (e.g. before the morning commute).
+// From the swarm's perspective this *synchronises* demand: sessions that
+// would have been spread over the day land in the same short window,
+// raising instantaneous swarm sizes and therefore peer-to-peer locality
+// and offload. This module transforms a trace accordingly so the standard
+// simulator and model quantify the effect.
+//
+// Simplification (documented): a preloaded download is modelled as a
+// session of unchanged duration and bitrate placed inside the preload
+// window — i.e. we model the timing shift, not accelerated bulk transfer.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/session.h"
+
+namespace cl {
+
+/// Configuration of the preloading behaviour.
+struct PreloadConfig {
+  double adoption = 0.5;  ///< fraction of sessions preloaded, in [0, 1]
+  double window_start_hour = 7.0;  ///< preload window start (local time)
+  double window_end_hour = 9.0;    ///< preload window end, > start
+};
+
+/// Returns a copy of `trace` in which each session is, with probability
+/// `config.adoption`, moved into the preload window of its original day.
+/// Deterministic in `seed`. The result is re-sorted and validated.
+[[nodiscard]] Trace apply_preload(const Trace& trace,
+                                  const PreloadConfig& config,
+                                  std::uint64_t seed);
+
+}  // namespace cl

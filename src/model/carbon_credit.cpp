@@ -1,0 +1,46 @@
+#include "model/carbon_credit.h"
+
+#include "util/error.h"
+
+namespace cl {
+
+double cct_from_offload(double offload, const EnergyParams& p) {
+  CL_EXPECTS(offload >= 0 && offload <= 1);
+  const double saved = p.pue * p.gamma_server.value() * offload;
+  const double spent = p.loss * p.gamma_modem.value() * (1.0 + offload);
+  return (saved - spent) / spent;
+}
+
+double carbon_neutral_offload(const EnergyParams& p) {
+  const double modem = p.loss * p.gamma_modem.value();
+  const double server = p.pue * p.gamma_server.value();
+  if (server <= modem) {
+    throw InvalidArgument(
+        "carbon neutrality unreachable: PUE*gamma_s <= l*gamma_m for model " +
+        p.name);
+  }
+  return modem / (server - modem);
+}
+
+double cct_ceiling(const EnergyParams& p) { return cct_from_offload(1.0, p); }
+
+double per_user_cct(Bits downloaded, Bits uploaded, const EnergyParams& p) {
+  CL_EXPECTS(downloaded.value() >= 0);
+  CL_EXPECTS(uploaded.value() >= 0);
+  const double moved = downloaded.value() + uploaded.value();
+  if (moved <= 0) return 0.0;
+  const double saved = p.pue * p.gamma_server.value() * uploaded.value();
+  const double spent = p.loss * p.gamma_modem.value() * moved;
+  return (saved - spent) / spent;
+}
+
+Energy credit_energy(Bits uploaded, const EnergyParams& p) {
+  return EnergyPerBit{p.pue * p.gamma_server.value()} * uploaded;
+}
+
+Energy user_energy(Bits downloaded, Bits uploaded, const EnergyParams& p) {
+  return EnergyPerBit{p.loss * p.gamma_modem.value()} *
+         (downloaded + uploaded);
+}
+
+}  // namespace cl

@@ -1,0 +1,52 @@
+// carbon_credit.h — the carbon credit transfer scheme (paper Section V).
+//
+// When peers deliver a share G of the traffic, the CDN saves PUE·γs per
+// offloaded bit on its servers. The scheme transfers that saving to the
+// uploading users as carbon credits, against which the users' own increased
+// modem consumption l·γm·(1+G) is netted (Eq. 13):
+//
+//   CCT = ( PUE·γs·G − l·γm·(1+G) ) / ( l·γm·(1+G) )
+//
+// CCT = −1 for a non-sharing user (their whole streaming footprint stands);
+// CCT = 0 is carbon-neutral streaming; CCT > 0 is carbon-positive: the
+// credits exceed the user's streaming footprint and can offset other
+// emissions.
+#pragma once
+
+#include "energy/energy_params.h"
+#include "util/units.h"
+
+namespace cl {
+
+/// Eq. 13 — normalised carbon credit transfer at offload fraction G ∈ [0,1].
+[[nodiscard]] double cct_from_offload(double offload, const EnergyParams& p);
+
+/// Offload fraction G* at which a user becomes carbon neutral (CCT = 0):
+/// G* = l·γm / (PUE·γs − l·γm). Throws cl::InvalidArgument when the server
+/// saving can never cover the modem cost (PUE·γs <= l·γm).
+[[nodiscard]] double carbon_neutral_offload(const EnergyParams& p);
+
+/// lim_{G→1} CCT = (PUE·γs − 2·l·γm)/(2·l·γm) — the paper's asymptotic
+/// carbon positivity (+18 % Valancius, +58 % Baliga).
+[[nodiscard]] double cct_ceiling(const EnergyParams& p);
+
+/// Per-user carbon credit transfer (DESIGN.md §5.3): a user who downloaded
+/// D bits and uploaded U bits earns credits for the server bits their
+/// uploads displaced, netted against their own modem consumption:
+///
+///   CCT_u = ( PUE·γs·U − l·γm·(D + U) ) / ( l·γm·(D + U) )
+///
+/// Returns 0 (neutral) when the user moved no traffic at all.
+[[nodiscard]] double per_user_cct(Bits downloaded, Bits uploaded,
+                                  const EnergyParams& p);
+
+/// Absolute (non-normalised) credit in nanojoules earned by uploading
+/// `uploaded` bits: PUE·γs·U.
+[[nodiscard]] Energy credit_energy(Bits uploaded, const EnergyParams& p);
+
+/// Absolute user-side energy of downloading D and uploading U bits:
+/// l·γm·(D + U).
+[[nodiscard]] Energy user_energy(Bits downloaded, Bits uploaded,
+                                 const EnergyParams& p);
+
+}  // namespace cl

@@ -1,0 +1,90 @@
+#include "model/localisation.h"
+
+#include <cmath>
+
+#include "model/swarm_model.h"
+#include "util/error.h"
+
+namespace cl {
+
+double locality_helper_f(double p, double c) {
+  CL_EXPECTS(p >= 0 && p <= 1);
+  CL_EXPECTS(c >= 0);
+  const double a = expected_excess(c);
+  if (p == 1.0) return a;
+  return expected_excess_nonlocal(p, c) - a;
+}
+
+double find_local_peer_probability(double p, unsigned swarm_size) {
+  CL_EXPECTS(p >= 0 && p <= 1);
+  if (swarm_size <= 1) return 0.0;
+  return 1.0 - std::pow(1.0 - p, static_cast<double>(swarm_size - 1));
+}
+
+EnergyPerBit gamma_p2p(const EnergyParams& params,
+                       const LocalisationProbabilities& loc,
+                       unsigned swarm_size) {
+  const double g_exp =
+      params.gamma_p2p_at(LocalityLevel::kExchangePoint).value();
+  const double g_pop = params.gamma_p2p_at(LocalityLevel::kPop).value();
+  const double g_core = params.gamma_p2p_at(LocalityLevel::kCore).value();
+  if (swarm_size <= 1) return EnergyPerBit{g_core};
+  const double p_exp = find_local_peer_probability(loc.exp, swarm_size);
+  const double p_pop = find_local_peer_probability(loc.pop, swarm_size);
+  const double p_core = find_local_peer_probability(loc.core, swarm_size);
+  return EnergyPerBit{g_exp * p_exp + g_pop * (p_pop - p_exp) +
+                      g_core * (p_core - p_pop)};
+}
+
+double expected_weighted_gamma(const EnergyParams& params,
+                               const LocalisationProbabilities& loc,
+                               double capacity) {
+  const double g_exp =
+      params.gamma_p2p_at(LocalityLevel::kExchangePoint).value();
+  const double g_pop = params.gamma_p2p_at(LocalityLevel::kPop).value();
+  const double g_core = params.gamma_p2p_at(LocalityLevel::kCore).value();
+  const double a = expected_excess(capacity);
+  return g_exp * a +
+         (g_pop - g_exp) * expected_excess_nonlocal(loc.exp, capacity) +
+         (g_core - g_pop) * expected_excess_nonlocal(loc.pop, capacity);
+}
+
+double expected_weighted_gamma_grouped(const EnergyParams& params,
+                                       const LocalisationProbabilities& loc,
+                                       double capacity) {
+  const double g_exp =
+      params.gamma_p2p_at(LocalityLevel::kExchangePoint).value();
+  const double g_pop = params.gamma_p2p_at(LocalityLevel::kPop).value();
+  const double g_core = params.gamma_p2p_at(LocalityLevel::kCore).value();
+  return (g_pop - g_exp) * locality_helper_f(loc.exp, capacity) +
+         (g_core - g_pop) * locality_helper_f(loc.pop, capacity) +
+         g_core * locality_helper_f(loc.core, capacity);
+}
+
+double expected_weighted_gamma_series(const EnergyParams& params,
+                                      const LocalisationProbabilities& loc,
+                                      double capacity, unsigned max_l) {
+  const SwarmModel swarm(capacity);
+  double sum = 0;
+  for (unsigned l = 2; l <= max_l; ++l) {
+    const double w = swarm.occupancy_pmf(l) * static_cast<double>(l - 1);
+    if (l > 16 && w < 1e-16 && static_cast<double>(l) > 2 * capacity) break;
+    sum += w * gamma_p2p(params, loc, l).value();
+  }
+  return sum;
+}
+
+std::array<double, kLocalityLevels> expected_locality_shares(
+    const LocalisationProbabilities& loc, double capacity) {
+  std::array<double, kLocalityLevels> shares{};
+  const double a = expected_excess(capacity);
+  if (a <= 0) return shares;
+  const double g_exp = expected_excess_nonlocal(loc.exp, capacity);
+  const double g_pop = expected_excess_nonlocal(loc.pop, capacity);
+  shares[index(LocalityLevel::kExchangePoint)] = (a - g_exp) / a;
+  shares[index(LocalityLevel::kPop)] = (g_exp - g_pop) / a;
+  shares[index(LocalityLevel::kCore)] = g_pop / a;
+  return shares;
+}
+
+}  // namespace cl

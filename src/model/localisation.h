@@ -1,0 +1,67 @@
+// localisation.h — expected locality of peer-to-peer paths
+// (paper Section III.D.2, Eqs. 7–11).
+//
+// A downloader in a swarm of L users localises at the lowest layer of the
+// ISP tree that contains at least one other active peer. With uniform user
+// placement, the probability of finding a peer under one's own node at a
+// layer with per-node probability p is P(L) = 1 − (1−p)^{L−1}, so
+//
+//   γp2p(L) = γexp·Pexp(L) + γpop·(Ppop−Pexp)(L) + γcore·(Pcore−Ppop)(L).
+//
+// The model needs E[γp2p(L)·(L−1)^+] under L ~ Poisson(c). We provide two
+// algebraically identical evaluations:
+//
+//  * `expected_weighted_gamma` — the direct derivation
+//        γexp·A(c) + (γpop−γexp)·g(pexp,c) + (γcore−γpop)·g(ppop,c)
+//    with A(c)=c−1+e^{-c}, g(p,c)=E[(L−1)^+(1−p)^{L−1}];
+//  * `expected_weighted_gamma_grouped` — the paper's Eq. 10 form using the
+//    piecewise helper f(p,c) (f(1,c)=A(c); f(p<1,c)=g(p,c)−A(c)).
+//
+// Their equality is enforced by tests; Eq. 11 as printed in the source text
+// is OCR-garbled, see DESIGN.md §2.
+#pragma once
+
+#include "energy/energy_params.h"
+#include "topology/isp_topology.h"
+#include "util/units.h"
+
+namespace cl {
+
+/// f(p, c) — the paper's Eq. 11 helper, piecewise at p = 1.
+[[nodiscard]] double locality_helper_f(double p, double c);
+
+/// P(L) = 1 − (1−p)^{L−1}: probability that a user in a swarm of L >= 1
+/// users finds a peer under their own layer-node of per-node probability p.
+[[nodiscard]] double find_local_peer_probability(double p, unsigned swarm_size);
+
+/// γp2p(L) — expected per-bit network energy of one peer path in an
+/// instantaneous swarm of L users (Eq. 7). For L <= 1 returns γcore (no
+/// peer exists; the value is irrelevant because traffic is zero).
+[[nodiscard]] EnergyPerBit gamma_p2p(const EnergyParams& params,
+                                     const LocalisationProbabilities& loc,
+                                     unsigned swarm_size);
+
+/// E[γp2p(L)·(L−1)^+] under L ~ Poisson(c) — direct closed form.
+[[nodiscard]] double expected_weighted_gamma(
+    const EnergyParams& params, const LocalisationProbabilities& loc,
+    double capacity);
+
+/// Same expectation via the paper's grouped Eq. 10 (uses locality_helper_f).
+[[nodiscard]] double expected_weighted_gamma_grouped(
+    const EnergyParams& params, const LocalisationProbabilities& loc,
+    double capacity);
+
+/// Monte-Carlo free numerical cross-check: evaluates the expectation by
+/// summing the Poisson series up to `max_l` terms. Used by tests and the
+/// model-validation bench.
+[[nodiscard]] double expected_weighted_gamma_series(
+    const EnergyParams& params, const LocalisationProbabilities& loc,
+    double capacity, unsigned max_l = 4096);
+
+/// Expected fraction of peer-delivered bits that localise at each level
+/// (sums to 1 for capacity > 0): share(level) = E[(L−1)^+·w_level]/A(c).
+/// Used to validate the simulator's locality mix against theory.
+[[nodiscard]] std::array<double, kLocalityLevels> expected_locality_shares(
+    const LocalisationProbabilities& loc, double capacity);
+
+}  // namespace cl

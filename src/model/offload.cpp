@@ -1,0 +1,33 @@
+#include "model/offload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/swarm_model.h"
+#include "util/error.h"
+
+namespace cl {
+
+double offload_fraction(double capacity, double q_over_beta) {
+  CL_EXPECTS(capacity >= 0);
+  CL_EXPECTS(q_over_beta >= 0);
+  if (capacity == 0) return 0.0;
+  const double g = q_over_beta * expected_excess(capacity) / capacity;
+  return std::min(g, 1.0);
+}
+
+double offload_small_capacity_slope(double q_over_beta) {
+  CL_EXPECTS(q_over_beta >= 0);
+  return q_over_beta / 2.0;
+}
+
+double offload_ceiling(double q_over_beta) {
+  CL_EXPECTS(q_over_beta >= 0);
+  return std::min(q_over_beta, 1.0);
+}
+
+double offload_at_unit_capacity(double q_over_beta) {
+  return offload_fraction(1.0, q_over_beta);
+}
+
+}  // namespace cl

@@ -1,0 +1,35 @@
+// offload.h — the traffic offload fraction G (paper Eq. 3).
+//
+// Within each Δτ window, L active users collectively demand L·β·Δτ bits; up
+// to (L−1)·q·Δτ of that can be delivered by fellow peers (one user pulls
+// the fresh chunk from the server). Averaging over Poisson(c) occupancy:
+//
+//     G = (q/β) · (c + e^{-c} − 1) / c
+//
+// G is a fraction of the total useful traffic; the model caps it at 1 (for
+// q > β a peer cannot usefully deliver more than the stream rate — the
+// paper only sweeps q/β <= 1, where no capping occurs).
+#pragma once
+
+namespace cl {
+
+/// Parameters of the offload computation.
+struct OffloadParams {
+  double upload_to_bitrate = 1.0;  ///< q/β, >= 0
+};
+
+/// G(c) — fraction of useful traffic deliverable from peers (Eq. 3).
+/// Preconditions: capacity >= 0, q_over_beta >= 0. Result in [0, 1].
+[[nodiscard]] double offload_fraction(double capacity, double q_over_beta);
+
+/// lim_{c→0} G/c = (q/β)/2 — useful for tiny-swarm asymptotics.
+[[nodiscard]] double offload_small_capacity_slope(double q_over_beta);
+
+/// lim_{c→∞} G = min(q/β, 1) — the self-scaling ceiling.
+[[nodiscard]] double offload_ceiling(double q_over_beta);
+
+/// The paper's remark (footnote 3): at c = 1, G = 0.37·q/β — still a
+/// non-trivial offload because arrivals are Poisson.
+[[nodiscard]] double offload_at_unit_capacity(double q_over_beta);
+
+}  // namespace cl

@@ -1,0 +1,82 @@
+#include "model/savings.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/carbon_credit.h"
+#include "model/localisation.h"
+#include "model/offload.h"
+#include "model/swarm_model.h"
+#include "util/error.h"
+
+namespace cl {
+
+SavingsModel::SavingsModel(EnergyParams params,
+                           LocalisationProbabilities localisation)
+    : costs_(std::move(params)), localisation_(localisation) {
+  CL_EXPECTS(localisation_.exp > 0 && localisation_.exp <= 1);
+  CL_EXPECTS(localisation_.pop > 0 && localisation_.pop <= 1);
+  CL_EXPECTS(localisation_.core == 1.0);
+  CL_EXPECTS(localisation_.exp <= localisation_.pop);
+}
+
+SavingsModel::SavingsModel(EnergyParams params, const IspTopology& topology)
+    : SavingsModel(std::move(params), topology.localisation()) {}
+
+const EnergyParams& SavingsModel::params() const { return costs_.params(); }
+
+double SavingsModel::offload(double capacity, double q_over_beta) const {
+  return offload_fraction(capacity, std::min(q_over_beta, 1.0));
+}
+
+double SavingsModel::savings(double capacity, double q_over_beta) const {
+  CL_EXPECTS(capacity >= 0);
+  CL_EXPECTS(q_over_beta >= 0);
+  if (capacity == 0) return 0.0;
+  const double rho = std::min(q_over_beta, 1.0);
+  const double psi_s = costs_.psi_server().value();
+  const double psi_pm = costs_.psi_peer_modem().value();
+  const double g = offload_fraction(capacity, rho);
+  const double w =
+      expected_weighted_gamma(params(), localisation_, capacity);
+  return g * (psi_s - psi_pm) / psi_s -
+         rho * params().pue * w / (capacity * psi_s);
+}
+
+double SavingsModel::savings_ceiling(double q_over_beta) const {
+  const double rho = std::min(q_over_beta, 1.0);
+  const double psi_s = costs_.psi_server().value();
+  const double psi_pm = costs_.psi_peer_modem().value();
+  const double gamma_exp =
+      params().gamma_p2p_at(LocalityLevel::kExchangePoint).value();
+  return rho * ((psi_s - psi_pm) / psi_s -
+                params().pue * gamma_exp / psi_s);
+}
+
+EnergyPerBit SavingsModel::mean_peer_gamma(double capacity) const {
+  const double a = expected_excess(capacity);
+  if (a <= 0) {
+    return params().gamma_p2p_at(LocalityLevel::kCore);
+  }
+  return EnergyPerBit{
+      expected_weighted_gamma(params(), localisation_, capacity) / a};
+}
+
+SavingsComponents SavingsModel::components(double capacity,
+                                           double q_over_beta) const {
+  SavingsComponents out;
+  const double g = offload(capacity, q_over_beta);
+  out.end_to_end = savings(capacity, q_over_beta);
+  // CDN + network side: server bits shrink by G; the P2P replacement still
+  // burns PUE·γ̄p2p per offloaded bit on shared network equipment.
+  const double cdn_per_bit = costs_.cdn_side_per_bit().value();
+  const double p2p_per_bit =
+      params().pue * mean_peer_gamma(capacity).value();
+  out.cdn = g * (1.0 - p2p_per_bit / cdn_per_bit);
+  // User side: modems additionally upload every offloaded bit.
+  out.user = -g;
+  out.carbon_credit_transfer = cct_from_offload(g, params());
+  return out;
+}
+
+}  // namespace cl

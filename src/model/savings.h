@@ -1,0 +1,70 @@
+// savings.h — the master energy-savings equation (paper Eq. 12) and the
+// component curves of Fig. 5.
+//
+// End-to-end savings of the hybrid CDN over a pure-server CDN:
+//
+//   S(c) = G·(ψs − ψpᵐ)/ψs  −  (q/β)·PUE·W(c) / (c·ψs)
+//
+// where G is the offload fraction (Eq. 3), ψs / ψpᵐ the per-bit costs
+// (Eqs. 4–6) and W(c) = E[γp2p(L)·(L−1)^+] the locality expectation
+// (Eq. 10). S can be negative for tiny swarms: a lonely peer pays the
+// double modem cost without a shorter path to show for it.
+#pragma once
+
+#include "energy/cost_functions.h"
+#include "energy/energy_params.h"
+#include "topology/isp_topology.h"
+#include "util/units.h"
+
+namespace cl {
+
+/// Savings of each party, normalised as in Fig. 5: every component is
+/// divided by that party's energy cost when peer assistance is disabled.
+struct SavingsComponents {
+  double end_to_end = 0;  ///< Eq. 12 — system-wide savings
+  double cdn = 0;    ///< CDN + network side savings (positive, grows with c)
+  double user = 0;   ///< user side savings (= −G, negative: modems work more)
+  double carbon_credit_transfer = 0;  ///< Eq. 13 — users' net footprint
+};
+
+/// Evaluates the paper's analytical model for one energy-parameter column
+/// and one ISP tree.
+class SavingsModel {
+ public:
+  SavingsModel(EnergyParams params, LocalisationProbabilities localisation);
+
+  /// Convenience: model for an explicit topology.
+  SavingsModel(EnergyParams params, const IspTopology& topology);
+
+  [[nodiscard]] const EnergyParams& params() const;
+  [[nodiscard]] const CostFunctions& costs() const { return costs_; }
+  [[nodiscard]] const LocalisationProbabilities& localisation() const {
+    return localisation_;
+  }
+
+  /// G — offload fraction at capacity c (Eq. 3). `q_over_beta` > 1 is
+  /// clamped to 1 (a peer cannot deliver more than the stream consumes).
+  [[nodiscard]] double offload(double capacity, double q_over_beta) const;
+
+  /// S — end-to-end savings (Eq. 12). Negative values mean the hybrid
+  /// system consumes more energy than the pure CDN.
+  [[nodiscard]] double savings(double capacity, double q_over_beta) const;
+
+  /// Asymptotic savings lim_{c→∞} S: offload at its ceiling and all peer
+  /// traffic localised within exchange points.
+  [[nodiscard]] double savings_ceiling(double q_over_beta) const;
+
+  /// W(c)/A(c) — expected per-bit γp2p over peer-delivered traffic;
+  /// γexp <= result <= γcore, decreasing in c.
+  [[nodiscard]] EnergyPerBit mean_peer_gamma(double capacity) const;
+
+  /// All Fig. 5 curves at one capacity.
+  [[nodiscard]] SavingsComponents components(double capacity,
+                                             double q_over_beta) const;
+
+ private:
+  CostFunctions costs_;
+  LocalisationProbabilities localisation_;
+};
+
+}  // namespace cl

@@ -1,0 +1,82 @@
+#include "model/split_swarm.h"
+
+#include "util/error.h"
+
+namespace cl {
+
+SplitSwarmModel::SplitSwarmModel(EnergyParams params, const Metro& metro,
+                                 std::vector<SwarmSlice> slices)
+    : slices_(std::move(slices)) {
+  CL_EXPECTS(!slices_.empty());
+  double sum = 0, volume_sum = 0;
+  for (auto& slice : slices_) {
+    CL_EXPECTS(slice.weight > 0);
+    CL_EXPECTS(slice.isp < metro.isp_count());
+    if (slice.volume_weight <= 0) slice.volume_weight = slice.weight;
+    sum += slice.weight;
+    volume_sum += slice.volume_weight;
+  }
+  for (auto& slice : slices_) {
+    slice.weight /= sum;
+    slice.volume_weight /= volume_sum;
+  }
+  per_isp_.reserve(metro.isp_count());
+  for (std::size_t i = 0; i < metro.isp_count(); ++i) {
+    per_isp_.emplace_back(params, metro.isp(i));
+  }
+}
+
+SplitSwarmModel SplitSwarmModel::isp_bitrate_partition(
+    EnergyParams params, const Metro& metro,
+    const std::array<double, kBitrateClasses>& bitrate_mix) {
+  std::vector<SwarmSlice> slices;
+  slices.reserve(metro.isp_count() * kBitrateClasses);
+  for (std::size_t isp = 0; isp < metro.isp_count(); ++isp) {
+    for (std::size_t b = 0; b < kBitrateClasses; ++b) {
+      if (bitrate_mix[b] <= 0) continue;
+      const double viewers = metro.share(isp) * bitrate_mix[b];
+      const double volume =
+          viewers * bitrate_of(kAllBitrateClasses[b]).value();
+      slices.push_back({viewers, isp, volume});
+    }
+  }
+  return SplitSwarmModel(std::move(params), metro, std::move(slices));
+}
+
+double SplitSwarmModel::savings(double item_capacity,
+                                double q_over_beta) const {
+  CL_EXPECTS(item_capacity >= 0);
+  double sum = 0;
+  for (const auto& slice : slices_) {
+    sum += slice.volume_weight *
+           per_isp_[slice.isp].savings(item_capacity * slice.weight,
+                                       q_over_beta);
+  }
+  return sum;
+}
+
+double SplitSwarmModel::offload(double item_capacity,
+                                double q_over_beta) const {
+  CL_EXPECTS(item_capacity >= 0);
+  double sum = 0;
+  for (const auto& slice : slices_) {
+    sum += slice.volume_weight *
+           per_isp_[slice.isp].offload(item_capacity * slice.weight,
+                                       q_over_beta);
+  }
+  return sum;
+}
+
+double SplitSwarmModel::unsplit_savings(double item_capacity,
+                                        double q_over_beta) const {
+  return per_isp_[slices_.front().isp].savings(item_capacity, q_over_beta);
+}
+
+double SplitSwarmModel::partition_penalty(double item_capacity,
+                                          double q_over_beta) const {
+  const double unsplit = unsplit_savings(item_capacity, q_over_beta);
+  if (unsplit <= 0) return 0.0;
+  return 1.0 - savings(item_capacity, q_over_beta) / unsplit;
+}
+
+}  // namespace cl

@@ -1,0 +1,72 @@
+// split_swarm.h — closed-form model for *partitioned* swarms.
+//
+// The paper's Eq. 12 describes one homogeneous swarm of capacity c. The
+// simulated system, however, splits each content item's audience by ISP
+// (market shares) and by bitrate class (device mix): a content item of
+// capacity c really runs as a family of independent sub-swarms with
+// capacities c·w_i. Because S(c) is concave, the partitioned system saves
+// *less* than Eq. 12 at the whole-item capacity — this module provides the
+// exact partitioned closed form, which is what the simulator should (and
+// does) match.
+#pragma once
+
+#include <vector>
+
+#include "model/savings.h"
+#include "topology/placement.h"
+#include "trace/bitrate.h"
+
+namespace cl {
+
+/// One sub-swarm slice of a content item's audience.
+struct SwarmSlice {
+  double weight = 0;    ///< fraction of the item's *capacity* (viewers)
+  std::size_t isp = 0;  ///< which ISP tree localises this slice
+  /// Fraction of the item's *traffic volume*. Differs from `weight` when
+  /// slices stream at different bitrates (volume ∝ viewers × β). Defaults
+  /// to `weight` when <= 0.
+  double volume_weight = 0;
+};
+
+/// Closed-form savings/offload for a content item partitioned into
+/// sub-swarms (by ISP market share × bitrate mix).
+class SplitSwarmModel {
+ public:
+  /// `slices` weights must be positive and sum to ~1 (normalised on
+  /// construction). One SavingsModel per distinct ISP is built from
+  /// `params` and `metro`'s trees. `metro` must outlive the model.
+  SplitSwarmModel(EnergyParams params, const Metro& metro,
+                  std::vector<SwarmSlice> slices);
+
+  /// The paper's partition: ISP market shares × a bitrate-class mix.
+  [[nodiscard]] static SplitSwarmModel isp_bitrate_partition(
+      EnergyParams params, const Metro& metro,
+      const std::array<double, kBitrateClasses>& bitrate_mix);
+
+  /// Traffic-weighted savings of the partitioned item at whole-item
+  /// capacity c: Σ w_i · S_isp(i)(c·w_i, q/β).
+  [[nodiscard]] double savings(double item_capacity, double q_over_beta) const;
+
+  /// Traffic-weighted offload fraction of the partitioned item.
+  [[nodiscard]] double offload(double item_capacity, double q_over_beta) const;
+
+  /// The homogeneous upper bound (Eq. 12 at the whole-item capacity,
+  /// using the first slice's ISP tree).
+  [[nodiscard]] double unsplit_savings(double item_capacity,
+                                       double q_over_beta) const;
+
+  /// Relative savings lost to partitioning at this capacity:
+  /// 1 − split/unsplit (0 when unsplit savings are 0).
+  [[nodiscard]] double partition_penalty(double item_capacity,
+                                         double q_over_beta) const;
+
+  [[nodiscard]] const std::vector<SwarmSlice>& slices() const {
+    return slices_;
+  }
+
+ private:
+  std::vector<SwarmSlice> slices_;
+  std::vector<SavingsModel> per_isp_;  ///< indexed by ISP id
+};
+
+}  // namespace cl

@@ -1,0 +1,56 @@
+// swarm_model.h — the M/M/∞ model of a content swarm (Section III.B).
+//
+// Users arrive at a swarm as a Poisson process of rate r, watch for an
+// (exponentially distributed) average duration u, and are served instantly
+// by the other members — i.e. an M/M/∞ queue. By Little's law the average
+// number of concurrent users ("swarm capacity") is c = u·r, and the
+// instantaneous occupancy L is Poisson(c)-distributed in steady state.
+#pragma once
+
+#include "util/units.h"
+
+namespace cl {
+
+/// Steady-state quantities of an M/M/∞ content swarm of capacity c.
+///
+/// All functions are pure and numerically safe over c ∈ [0, ~1e6].
+class SwarmModel {
+ public:
+  /// Constructs from a capacity directly. Precondition: c >= 0.
+  explicit SwarmModel(double capacity);
+
+  /// Constructs via Little's law from mean session duration u and arrival
+  /// rate r (sessions/second): c = u·r.
+  [[nodiscard]] static SwarmModel from_rate(Seconds mean_duration,
+                                            double arrivals_per_second);
+
+  /// The swarm capacity c (mean concurrent users).
+  [[nodiscard]] double capacity() const { return c_; }
+
+  /// p = P[L >= 1] = 1 − e^{-c}: probability at least one user is online.
+  [[nodiscard]] double p_online() const;
+
+  /// Poisson(c) probability mass P[L = l].
+  [[nodiscard]] double occupancy_pmf(unsigned l) const;
+
+  /// E[(L−1)^+] = c − 1 + e^{-c}: expected number of users in excess of
+  /// one — exactly the per-window count of users that can be served by
+  /// peers (the paper's ΔTp carries a (L−1) factor, zero when L <= 1).
+  [[nodiscard]] double expected_excess() const;
+
+  /// E[(L−1)^+ · (1−p)^{L−1}] for p ∈ [0,1] — the building block of the
+  /// locality expectation (Section III.D.2). Closed form:
+  ///   e^{-cp}·( c − (1−e^{-c(1−p)})/(1−p) )   for p < 1;  0 at p = 1.
+  [[nodiscard]] double expected_excess_nonlocal(double p) const;
+
+ private:
+  double c_;
+};
+
+/// Numerically stable c − 1 + e^{-c} (series expansion near zero).
+[[nodiscard]] double expected_excess(double c);
+
+/// Numerically stable E[(L−1)^+ (1−p)^{L−1}] (see SwarmModel).
+[[nodiscard]] double expected_excess_nonlocal(double p, double c);
+
+}  // namespace cl

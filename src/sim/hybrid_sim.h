@@ -1,0 +1,53 @@
+// hybrid_sim.h — the discrete time-step hybrid-CDN simulator
+// (paper Section IV.A).
+//
+// The simulator replays a session trace in Δτ windows (the paper uses
+// Δτ = 10 s). Sessions are grouped into swarms — by (content, ISP, bitrate
+// class) in the paper's ISP-friendly, bitrate-split setting — and within
+// each swarm, every window's active peers are matched by a Matcher policy,
+// splitting each user's β·Δτ demand between fellow peers (by locality
+// level) and the CDN.
+//
+// Implementation note: the active set of a swarm only changes when a
+// session joins or leaves, so the simulator batches stretches of identical
+// windows — one allocation is computed per stretch and multiplied by the
+// stretch length (splitting at day boundaries when per-day metrics are
+// collected). This is exact, not an approximation, and reduces the cost
+// from O(windows × peers) to O(events × peers).
+#pragma once
+
+#include <span>
+
+#include "sim/matcher.h"
+#include "sim/metrics.h"
+#include "sim/sim_config.h"
+#include "topology/placement.h"
+#include "trace/session.h"
+
+namespace cl {
+
+/// Trace-driven hybrid-CDN simulator.
+class HybridSimulator {
+ public:
+  /// `metro` supplies the per-ISP trees for locality lookups and must
+  /// outlive the simulator.
+  HybridSimulator(const Metro& metro, SimConfig config);
+
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+
+  /// Simulates the whole trace: groups sessions into swarms, sweeps each
+  /// swarm, and aggregates per-swarm / per-day / per-user metrics.
+  [[nodiscard]] SimResult run(const Trace& trace) const;
+
+ private:
+  struct GroupAccumulator;
+
+  void sweep_group(SwarmKey key, std::span<const std::uint32_t> indices,
+                   const Trace& trace, const Matcher& matcher,
+                   SimResult& result) const;
+
+  const Metro* metro_;
+  SimConfig config_;
+};
+
+}  // namespace cl

@@ -1,0 +1,94 @@
+// matcher.h — per-window peer matching policies.
+//
+// Given the set of peers active during one Δτ window, a matcher decides
+// how many bits each downloader pulls from peers (and at which locality
+// level), how many fall back to the CDN, and which peers upload.
+//
+// Two policies are provided (see MatcherKind in sim_config.h):
+//  * ExistenceMatcher — the analytical model's idealisation;
+//  * CapacityMatcher  — closest-first greedy with upload budgets.
+//
+// A matcher is a pure function of the active set: the allocation for one
+// window is valid for every window of a stretch during which the active
+// set does not change, which is what makes the simulator's event-batched
+// sweep correct.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/sim_config.h"
+#include "topology/locality.h"
+
+namespace cl {
+
+/// One active session from the matcher's point of view.
+struct ActivePeer {
+  std::uint32_t session = 0;  ///< index into the group's session list
+  std::uint32_t user = 0;
+  std::uint32_t isp = 0;
+  std::uint32_t exp = 0;  ///< exchange point id within the ISP
+  std::uint32_t pop = 0;  ///< PoP id within the ISP
+  double beta = 0;        ///< stream bitrate, bits/second
+  std::uint64_t join_window = 0;  ///< window index at which the peer joined
+};
+
+/// Per-window allocation for one active peer, in bits per window.
+struct PeerAllocation {
+  double server_bits = 0;  ///< pulled from the CDN
+  std::array<double, kLocalityLevels> peer_bits{};  ///< pulled from peers
+  double cross_isp_bits = 0;  ///< pulled from peers in other ISPs
+  double upload_bits = 0;     ///< served to other peers
+
+  [[nodiscard]] double downloaded_bits() const {
+    double sum = server_bits + cross_isp_bits;
+    for (double b : peer_bits) sum += b;
+    return sum;
+  }
+};
+
+/// Matching policy interface. Implementations must be deterministic pure
+/// functions of (actives, seed_index, config).
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  /// Computes the per-window allocation for every active peer.
+  ///
+  /// `seed_index` designates the one peer that pulls the fresh copy
+  /// entirely from the CDN (the paper's ΔTp = (L−1)·q·Δτ has one implicit
+  /// server-fed user per window). `out` is resized to actives.size().
+  virtual void allocate(std::span<const ActivePeer> actives,
+                        std::size_t seed_index, const SimConfig& config,
+                        std::vector<PeerAllocation>& out) const = 0;
+};
+
+/// The analytical model's matcher: a downloader localises at the lowest
+/// layer housing any other active peer; upload budgets are not enforced.
+/// Upload volume is attributed evenly across the members of the layer
+/// bucket that served each downloader.
+class ExistenceMatcher final : public Matcher {
+ public:
+  void allocate(std::span<const ActivePeer> actives, std::size_t seed_index,
+                const SimConfig& config,
+                std::vector<PeerAllocation>& out) const override;
+};
+
+/// Capacity-constrained greedy matcher: downloaders (in deterministic
+/// order) pull from the closest peers first, draining per-uploader budgets
+/// of q = (q/β)·β_uploader·Δτ bits per window; unmet demand falls back to
+/// the CDN.
+class CapacityMatcher final : public Matcher {
+ public:
+  void allocate(std::span<const ActivePeer> actives, std::size_t seed_index,
+                const SimConfig& config,
+                std::vector<PeerAllocation>& out) const override;
+};
+
+/// Factory for the matcher selected by a SimConfig.
+[[nodiscard]] std::unique_ptr<Matcher> make_matcher(MatcherKind kind);
+
+}  // namespace cl

@@ -1,0 +1,25 @@
+#include "sim/metrics.h"
+
+namespace cl {
+
+double swarm_savings(const SwarmResult& swarm,
+                     const EnergyAccountant& accountant) {
+  return accountant.savings(swarm.traffic);
+}
+
+std::vector<std::vector<double>> daily_savings(
+    const SimResult& result, const EnergyAccountant& accountant) {
+  std::vector<std::vector<double>> out;
+  out.reserve(result.daily.size());
+  for (const auto& day : result.daily) {
+    std::vector<double> row;
+    row.reserve(day.size());
+    for (const auto& traffic : day) {
+      row.push_back(accountant.savings(traffic));
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace cl

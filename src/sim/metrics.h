@@ -1,0 +1,60 @@
+// metrics.h — result types produced by the hybrid-CDN simulator.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "energy/accounting.h"
+#include "sim/sim_config.h"
+#include "sim/swarm_key.h"
+#include "util/units.h"
+
+namespace cl {
+
+/// Per-user byte totals (drives the Fig. 6 carbon-credit ledger).
+struct UserTraffic {
+  Bits downloaded;  ///< all useful bytes the user streamed
+  Bits uploaded;    ///< bytes the user served to peers
+};
+
+/// Per-swarm outcome.
+struct SwarmResult {
+  SwarmKey key;
+  std::size_t sessions = 0;
+  /// Measured swarm capacity: total watch seconds / trace span — the
+  /// empirical counterpart of c = u·r.
+  double capacity = 0;
+  TrafficBreakdown traffic;
+};
+
+/// Full simulation outcome.
+struct SimResult {
+  SimConfig config;
+  Seconds span;
+  TrafficBreakdown total;
+
+  /// One entry per swarm (empty unless config.collect_swarms).
+  std::vector<SwarmResult> swarms;
+
+  /// daily[day][isp] traffic (empty unless config.collect_per_day).
+  std::vector<std::vector<TrafficBreakdown>> daily;
+
+  /// Per-user byte totals (empty unless config.collect_per_user).
+  std::unordered_map<std::uint32_t, UserTraffic> users;
+
+  /// System-wide offload fraction G achieved by the run.
+  [[nodiscard]] double offload() const { return total.offload_fraction(); }
+};
+
+/// End-to-end savings of one swarm under an energy model (Eq. 1 evaluated
+/// on simulated traffic).
+[[nodiscard]] double swarm_savings(const SwarmResult& swarm,
+                                   const EnergyAccountant& accountant);
+
+/// Aggregate daily savings per ISP: savings[day][isp] (days × isps), under
+/// one energy model. Entries with no traffic are 0.
+[[nodiscard]] std::vector<std::vector<double>> daily_savings(
+    const SimResult& result, const EnergyAccountant& accountant);
+
+}  // namespace cl

@@ -1,0 +1,52 @@
+// sim_config.h — configuration of the discrete time-step hybrid-CDN
+// simulator (paper Section IV.A).
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace cl {
+
+/// Peer-matching policy.
+enum class MatcherKind : std::uint8_t {
+  /// The analytical model's assumption: a downloader localises at the
+  /// lowest tree layer containing at least one other active peer; upload
+  /// capacity contention is ignored (peers at a layer collectively always
+  /// suffice). This is what the paper's theory-vs-simulation comparison
+  /// (Fig. 2/4) uses implicitly.
+  kExistence = 0,
+  /// Closest-first greedy matching with per-uploader per-window upload
+  /// budgets; demand that cannot be met at a layer spills to the next
+  /// layer, and ultimately back to the CDN. Used by the matching ablation.
+  kCapacity = 1,
+};
+
+/// All simulator knobs.
+struct SimConfig {
+  /// Δτ — the time-step; the paper uses 10 s.
+  Seconds window{10.0};
+
+  /// q/β — per-user upload bandwidth relative to their stream bitrate.
+  /// Values > 1 behave as 1 (a peer cannot usefully push more than the
+  /// stream rate to one downloader).
+  double q_over_beta = 1.0;
+
+  /// Restrict swarms to a single ISP (the paper's ISP-friendly setting).
+  /// When false, swarms span ISPs and cross-ISP peer bytes are accounted
+  /// in TrafficBreakdown::cross_isp.
+  bool isp_friendly = true;
+
+  /// Split swarms by bitrate class (a large-screen client cannot stream
+  /// from a phone's copy). When false, mixed-bitrate swarms share freely.
+  bool split_by_bitrate = true;
+
+  MatcherKind matcher = MatcherKind::kExistence;
+
+  // --- metric collection toggles (cost only, results identical) ---
+  bool collect_swarms = true;    ///< per-swarm results (Figs. 2, 3)
+  bool collect_per_user = true;  ///< per-user up/down bytes (Fig. 6)
+  bool collect_per_day = true;   ///< per-day, per-ISP traffic (Fig. 4)
+};
+
+}  // namespace cl

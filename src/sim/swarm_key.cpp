@@ -1,0 +1,15 @@
+#include "sim/swarm_key.h"
+
+namespace cl {
+
+SwarmKey swarm_key_for(const SessionRecord& session, const SimConfig& config) {
+  SwarmKey key;
+  key.content = session.content;
+  if (config.isp_friendly) key.isp = session.isp;
+  if (config.split_by_bitrate) {
+    key.bitrate = static_cast<std::uint8_t>(session.bitrate);
+  }
+  return key;
+}
+
+}  // namespace cl

@@ -1,0 +1,58 @@
+// swarm_key.h — identification of a swarm.
+//
+// A swarm is the set of sessions that may share content with each other.
+// The paper's setting keys swarms by (content, ISP, bitrate class); the
+// ablations relax the ISP and bitrate dimensions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/sim_config.h"
+#include "trace/bitrate.h"
+#include "trace/session.h"
+
+namespace cl {
+
+/// Grouping key of one swarm. Relaxed dimensions carry the sentinel
+/// kAnyIsp / kAnyBitrate.
+struct SwarmKey {
+  static constexpr std::uint32_t kAnyIsp = 0xffffffffu;
+  static constexpr std::uint8_t kAnyBitrate = 0xffu;
+
+  std::uint32_t content = 0;
+  std::uint32_t isp = kAnyIsp;
+  std::uint8_t bitrate = kAnyBitrate;
+
+  friend bool operator==(const SwarmKey&, const SwarmKey&) = default;
+
+  /// Packs the key into one 64-bit integer (content | isp | bitrate).
+  [[nodiscard]] std::uint64_t packed() const {
+    return (static_cast<std::uint64_t>(content) << 32) |
+           (static_cast<std::uint64_t>(isp & 0xffffffu) << 8) |
+           static_cast<std::uint64_t>(bitrate);
+  }
+
+  [[nodiscard]] bool has_isp() const { return isp != kAnyIsp; }
+  [[nodiscard]] bool has_bitrate() const { return bitrate != kAnyBitrate; }
+  [[nodiscard]] BitrateClass bitrate_class() const {
+    return static_cast<BitrateClass>(bitrate);
+  }
+};
+
+/// Builds the SwarmKey of a session under the given config.
+[[nodiscard]] SwarmKey swarm_key_for(const SessionRecord& session,
+                                     const SimConfig& config);
+
+}  // namespace cl
+
+template <>
+struct std::hash<cl::SwarmKey> {
+  std::size_t operator()(const cl::SwarmKey& k) const noexcept {
+    // SplitMix64 finaliser over the packed key.
+    std::uint64_t z = k.packed() + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};

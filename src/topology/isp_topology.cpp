@@ -1,0 +1,58 @@
+#include "topology/isp_topology.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace cl {
+
+IspTopology::IspTopology(std::string name, std::uint32_t n_exp,
+                         std::uint32_t n_pop)
+    : name_(std::move(name)), n_exp_(n_exp), n_pop_(n_pop) {
+  CL_EXPECTS(n_pop_ >= 1);
+  CL_EXPECTS(n_exp_ >= n_pop_);
+  exp_to_pop_.resize(n_exp_);
+  // Round-robin assignment spreads ExPs as evenly as possible over PoPs,
+  // matching the uniform-placement assumption behind Table III.
+  for (std::uint32_t e = 0; e < n_exp_; ++e) {
+    exp_to_pop_[e] = e % n_pop_;
+  }
+}
+
+IspTopology IspTopology::london_default(std::string name) {
+  return IspTopology(std::move(name), 345, 9);
+}
+
+IspTopology IspTopology::scaled(std::string name, double share) {
+  CL_EXPECTS(share > 0 && share <= 1.0);
+  const auto base = london_default();
+  const auto n_pop = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(
+             std::lround(share * static_cast<double>(base.pops()))));
+  const auto n_exp = std::max<std::uint32_t>(
+      n_pop, static_cast<std::uint32_t>(std::lround(
+                 share * static_cast<double>(base.exchange_points()))));
+  return IspTopology(std::move(name), n_exp, n_pop);
+}
+
+std::uint32_t IspTopology::pop_of(std::uint32_t exp_id) const {
+  CL_EXPECTS(exp_id < n_exp_);
+  return exp_to_pop_[exp_id];
+}
+
+LocalisationProbabilities IspTopology::localisation() const {
+  return {1.0 / static_cast<double>(n_exp_),
+          1.0 / static_cast<double>(n_pop_), 1.0};
+}
+
+LocalityLevel IspTopology::locality_between(std::uint32_t exp_a,
+                                            std::uint32_t exp_b) const {
+  CL_EXPECTS(exp_a < n_exp_);
+  CL_EXPECTS(exp_b < n_exp_);
+  if (exp_a == exp_b) return LocalityLevel::kExchangePoint;
+  if (exp_to_pop_[exp_a] == exp_to_pop_[exp_b]) return LocalityLevel::kPop;
+  return LocalityLevel::kCore;
+}
+
+}  // namespace cl

@@ -1,0 +1,86 @@
+// isp_topology.h — metropolitan ISP tree topology (paper Fig. 1, Table III).
+//
+// The paper models an ISP's metropolitan network as a three-layer tree:
+// one nationwide core router, `n_pop` points of presence under it, and
+// `n_exp` exchange points distributed over the PoPs, with end users hanging
+// off exchange points. The published counts for the large London ISP are
+// 345 exchange points, 9 PoPs and 1 core router.
+//
+// The analytical model only consumes the tree through the *localisation
+// probabilities* of Table III — the probability that a uniformly placed
+// user sits under one given node of a layer — while the simulator uses the
+// explicit tree to compute the lowest common layer of matched peers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/locality.h"
+
+namespace cl {
+
+/// Localisation probabilities for one ISP tree (Table III).
+struct LocalisationProbabilities {
+  double exp = 0;   ///< P[user under one given exchange point] = 1/n_exp
+  double pop = 0;   ///< P[user under one given PoP]            = 1/n_pop
+  double core = 1;  ///< P[user under the core]                 = 1
+
+  /// Probability for a given level.
+  [[nodiscard]] double at(LocalityLevel level) const {
+    switch (level) {
+      case LocalityLevel::kExchangePoint:
+        return exp;
+      case LocalityLevel::kPop:
+        return pop;
+      case LocalityLevel::kCore:
+        return core;
+    }
+    return 1;
+  }
+};
+
+/// Static description of one ISP's metropolitan tree.
+///
+/// Invariants (checked on construction):
+///  * n_core == 1 (the model is per-metro single-core);
+///  * n_pop >= 1 and n_exp >= n_pop;
+///  * every exchange point is assigned to exactly one PoP.
+class IspTopology {
+ public:
+  /// Builds a tree with `n_exp` exchange points spread as evenly as
+  /// possible over `n_pop` PoPs.
+  IspTopology(std::string name, std::uint32_t n_exp, std::uint32_t n_pop);
+
+  /// The published topology of the large national ISP serving London:
+  /// 345 exchange points, 9 PoPs, 1 core (Table III).
+  [[nodiscard]] static IspTopology london_default(std::string name = "ISP-1");
+
+  /// A topology scaled to a market-share fraction of the default, keeping
+  /// at least one ExP per PoP. Used for the smaller of the top-5 ISPs.
+  [[nodiscard]] static IspTopology scaled(std::string name, double share);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint32_t exchange_points() const { return n_exp_; }
+  [[nodiscard]] std::uint32_t pops() const { return n_pop_; }
+  [[nodiscard]] std::uint32_t cores() const { return 1; }
+
+  /// PoP that exchange point `exp_id` belongs to.
+  [[nodiscard]] std::uint32_t pop_of(std::uint32_t exp_id) const;
+
+  /// Table III: probability that a uniformly placed user is under a given
+  /// node of each layer (1/n_exp, 1/n_pop, 1).
+  [[nodiscard]] LocalisationProbabilities localisation() const;
+
+  /// Lowest common layer of two users placed at the given exchange points.
+  [[nodiscard]] LocalityLevel locality_between(std::uint32_t exp_a,
+                                               std::uint32_t exp_b) const;
+
+ private:
+  std::string name_;
+  std::uint32_t n_exp_;
+  std::uint32_t n_pop_;
+  std::vector<std::uint32_t> exp_to_pop_;
+};
+
+}  // namespace cl

@@ -1,0 +1,48 @@
+// locality.h — the three levels at which two peers of a metropolitan ISP
+// network can be localised (Fig. 1 of the paper).
+//
+// Peer-to-peer traffic between two users under the same exchange point only
+// powers the access segment; same PoP adds the metro aggregation segment;
+// otherwise the path crosses the ISP core. A CDN download always crosses
+// the full path from the content server.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace cl {
+
+/// Lowest shared layer of the ISP tree between two users.
+enum class LocalityLevel : std::uint8_t {
+  kExchangePoint = 0,  ///< both users under the same exchange point (ExP)
+  kPop = 1,            ///< same point of presence, different ExP
+  kCore = 2,           ///< same ISP core, different PoP
+};
+
+/// Number of locality levels (array sizing helper).
+inline constexpr std::size_t kLocalityLevels = 3;
+
+/// All levels, lowest (most local) first.
+inline constexpr std::array<LocalityLevel, kLocalityLevels> kAllLocalityLevels{
+    LocalityLevel::kExchangePoint, LocalityLevel::kPop, LocalityLevel::kCore};
+
+/// Stable display name ("ExP" / "PoP" / "Core").
+constexpr std::string_view to_string(LocalityLevel level) {
+  switch (level) {
+    case LocalityLevel::kExchangePoint:
+      return "ExP";
+    case LocalityLevel::kPop:
+      return "PoP";
+    case LocalityLevel::kCore:
+      return "Core";
+  }
+  return "?";
+}
+
+/// Index of a level into per-level arrays.
+constexpr std::size_t index(LocalityLevel level) {
+  return static_cast<std::size_t>(level);
+}
+
+}  // namespace cl

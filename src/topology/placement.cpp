@@ -1,0 +1,64 @@
+#include "topology/placement.h"
+
+#include "util/error.h"
+
+namespace cl {
+
+UserPlacement UniformPlacer::place(std::uint32_t isp_index, Rng& rng) const {
+  return {isp_index,
+          static_cast<std::uint32_t>(rng.uniform_index(topo_->exchange_points()))};
+}
+
+double UniformPlacer::same_exp_probability() const {
+  return 1.0 / static_cast<double>(topo_->exchange_points());
+}
+
+double UniformPlacer::same_pop_probability() const {
+  return 1.0 / static_cast<double>(topo_->pops());
+}
+
+Metro::Metro(std::vector<IspTopology> topologies, std::vector<double> shares)
+    : topologies_(std::move(topologies)), shares_(std::move(shares)),
+      sampler_(shares_) {
+  CL_EXPECTS(!topologies_.empty());
+  CL_EXPECTS(topologies_.size() == shares_.size());
+  double sum = 0;
+  for (double s : shares_) sum += s;
+  CL_EXPECTS(sum > 0);
+  for (auto& s : shares_) s /= sum;
+}
+
+Metro Metro::london_top5() {
+  // Market shares approximate the UK's top-5 fixed-line ISPs at trace time
+  // (BT-like, Sky-like, Virgin-like, TalkTalk-like, EE-like). ISP-1 uses
+  // the exact published tree of Table III; the others are scaled copies.
+  std::vector<double> shares{0.32, 0.23, 0.20, 0.14, 0.11};
+  std::vector<IspTopology> topos;
+  topos.push_back(IspTopology::london_default("ISP-1"));
+  for (std::size_t i = 1; i < shares.size(); ++i) {
+    topos.push_back(IspTopology::scaled("ISP-" + std::to_string(i + 1),
+                                        shares[i] / shares[0]));
+  }
+  return Metro(std::move(topos), std::move(shares));
+}
+
+const IspTopology& Metro::isp(std::size_t i) const {
+  CL_EXPECTS(i < topologies_.size());
+  return topologies_[i];
+}
+
+double Metro::share(std::size_t i) const {
+  CL_EXPECTS(i < shares_.size());
+  return shares_[i];
+}
+
+std::uint32_t Metro::sample_isp(Rng& rng) const {
+  return static_cast<std::uint32_t>(sampler_(rng));
+}
+
+UserPlacement Metro::place_user(std::uint32_t isp_index, Rng& rng) const {
+  CL_EXPECTS(isp_index < topologies_.size());
+  return UniformPlacer(topologies_[isp_index]).place(isp_index, rng);
+}
+
+}  // namespace cl

@@ -1,0 +1,73 @@
+// placement.h — assignment of users to positions in an ISP tree.
+//
+// A user's network position is fully described by the exchange point they
+// hang off (the PoP and core follow from the tree). Placement is uniform
+// over exchange points, which is exactly the assumption behind the
+// localisation probabilities of Table III.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/isp_topology.h"
+#include "util/rng.h"
+
+namespace cl {
+
+/// A user's position inside one ISP's tree.
+struct UserPlacement {
+  std::uint32_t isp = 0;  ///< index into the metro's ISP list
+  std::uint32_t exp = 0;  ///< exchange point id within that ISP
+};
+
+/// Places users uniformly at random across an ISP's exchange points.
+class UniformPlacer {
+ public:
+  explicit UniformPlacer(const IspTopology& topo) : topo_(&topo) {}
+
+  /// Draws a placement for one user of ISP `isp_index`.
+  [[nodiscard]] UserPlacement place(std::uint32_t isp_index, Rng& rng) const;
+
+  /// Empirical check helper: probability that two independently placed
+  /// users share an exchange point (= 1/n_exp under uniform placement).
+  [[nodiscard]] double same_exp_probability() const;
+
+  /// Probability that two users share a PoP (= 1/n_pop).
+  [[nodiscard]] double same_pop_probability() const;
+
+ private:
+  const IspTopology* topo_;
+};
+
+/// A metropolitan area served by several ISPs with given market shares.
+///
+/// The paper's trace spans five major ISPs; swarms are ISP-friendly, i.e.
+/// peers are only matched within one ISP's tree.
+class Metro {
+ public:
+  /// Builds a metro with one tree per ISP. `shares` need not sum to one
+  /// (they are normalised); topologies[i] serves shares[i].
+  Metro(std::vector<IspTopology> topologies, std::vector<double> shares);
+
+  /// The paper's setting: top-5 London ISPs. ISP-1 uses the published
+  /// 345/9/1 tree; smaller ISPs are share-scaled copies.
+  [[nodiscard]] static Metro london_top5();
+
+  [[nodiscard]] std::size_t isp_count() const { return topologies_.size(); }
+  [[nodiscard]] const IspTopology& isp(std::size_t i) const;
+  [[nodiscard]] double share(std::size_t i) const;
+
+  /// Samples the home ISP of a new user according to market share.
+  [[nodiscard]] std::uint32_t sample_isp(Rng& rng) const;
+
+  /// Uniformly places a user within their home ISP's tree.
+  [[nodiscard]] UserPlacement place_user(std::uint32_t isp_index,
+                                         Rng& rng) const;
+
+ private:
+  std::vector<IspTopology> topologies_;
+  std::vector<double> shares_;
+  DiscreteSampler sampler_;
+};
+
+}  // namespace cl

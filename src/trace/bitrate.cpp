@@ -1,0 +1,42 @@
+#include "trace/bitrate.h"
+
+#include "util/error.h"
+
+namespace cl {
+
+BitRate bitrate_of(BitrateClass c) {
+  switch (c) {
+    case BitrateClass::kMobile:
+      return BitRate::from_mbps(0.8);
+    case BitrateClass::kSd:
+      return BitRate::from_mbps(1.5);
+    case BitrateClass::kHd:
+      return BitRate::from_mbps(3.0);
+    case BitrateClass::kFullHd:
+      return BitRate::from_mbps(5.0);
+  }
+  throw InvalidArgument("unknown bitrate class");
+}
+
+std::string_view to_string(BitrateClass c) {
+  switch (c) {
+    case BitrateClass::kMobile:
+      return "mobile";
+    case BitrateClass::kSd:
+      return "sd";
+    case BitrateClass::kHd:
+      return "hd";
+    case BitrateClass::kFullHd:
+      return "fullhd";
+  }
+  return "?";
+}
+
+BitrateClass bitrate_class_from_string(std::string_view name) {
+  for (auto c : kAllBitrateClasses) {
+    if (to_string(c) == name) return c;
+  }
+  throw ParseError("unknown bitrate class: " + std::string(name));
+}
+
+}  // namespace cl

@@ -1,0 +1,47 @@
+// bitrate.h — streaming bitrate classes.
+//
+// The paper notes that swarms are split by the bitrate a client streams at
+// (a 72-inch TV cannot stream from a phone's low-bitrate copy), and that
+// BBC iPlayer's modal bitrate is 1.5 Mbps. We model four device-driven
+// classes spanning the platform's ladder.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "util/units.h"
+
+namespace cl {
+
+/// Bitrate/device class of one streaming session.
+enum class BitrateClass : std::uint8_t {
+  kMobile = 0,  ///< phone / small tablet, 0.8 Mbps
+  kSd = 1,      ///< standard definition (the platform's modal rate), 1.5 Mbps
+  kHd = 2,      ///< HD stream, 3.0 Mbps
+  kFullHd = 3,  ///< large-screen TV, 5.0 Mbps
+};
+
+/// Number of bitrate classes.
+inline constexpr std::size_t kBitrateClasses = 4;
+
+/// All classes in ascending bitrate order.
+inline constexpr std::array<BitrateClass, kBitrateClasses> kAllBitrateClasses{
+    BitrateClass::kMobile, BitrateClass::kSd, BitrateClass::kHd,
+    BitrateClass::kFullHd};
+
+/// Stream bitrate β of a class.
+[[nodiscard]] BitRate bitrate_of(BitrateClass c);
+
+/// Display name ("mobile", "sd", "hd", "fullhd").
+[[nodiscard]] std::string_view to_string(BitrateClass c);
+
+/// Parses a display name; throws cl::ParseError on unknown names.
+[[nodiscard]] BitrateClass bitrate_class_from_string(std::string_view name);
+
+/// Index helper for per-class arrays.
+constexpr std::size_t index(BitrateClass c) {
+  return static_cast<std::size_t>(c);
+}
+
+}  // namespace cl

@@ -1,0 +1,80 @@
+#include "trace/catalogue.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace cl {
+
+namespace {
+
+/// Deterministic realistic programme-length mix: 10 min shorts, 30 min
+/// episodes (most TV), 60 min programmes.
+Seconds nominal_length_for(std::size_t id) {
+  switch (id % 5) {
+    case 0:
+    case 1:
+      return Seconds::from_minutes(30);
+    case 2:
+      return Seconds::from_minutes(60);
+    case 3:
+      return Seconds::from_minutes(30);
+    default:
+      return Seconds::from_minutes(10);
+  }
+}
+
+std::vector<double> build_weights(const std::vector<double>& exemplar_views,
+                                  std::size_t tail_size,
+                                  double total_tail_views,
+                                  double zipf_exponent) {
+  CL_EXPECTS(tail_size >= 1);
+  CL_EXPECTS(total_tail_views >= 0);
+  CL_EXPECTS(zipf_exponent >= 0);
+  std::vector<double> w;
+  w.reserve(exemplar_views.size() + tail_size);
+  for (double v : exemplar_views) {
+    CL_EXPECTS(v > 0);
+    w.push_back(v);
+  }
+  double h = 0;
+  for (std::size_t k = 0; k < tail_size; ++k) {
+    h += 1.0 / std::pow(static_cast<double>(k + 1), zipf_exponent);
+  }
+  for (std::size_t k = 0; k < tail_size; ++k) {
+    w.push_back(total_tail_views / std::pow(static_cast<double>(k + 1),
+                                            zipf_exponent) / h);
+  }
+  return w;
+}
+
+}  // namespace
+
+Catalogue::Catalogue(std::vector<double> exemplar_views, std::size_t tail_size,
+                     double total_tail_views, double zipf_exponent)
+    : exemplars_(exemplar_views.size()), total_views_(0),
+      sampler_(build_weights(exemplar_views, tail_size, total_tail_views,
+                             zipf_exponent)) {
+  const auto weights = build_weights(exemplar_views, tail_size,
+                                     total_tail_views, zipf_exponent);
+  items_.reserve(weights.size());
+  for (std::size_t id = 0; id < weights.size(); ++id) {
+    ContentInfo info;
+    info.id = static_cast<std::uint32_t>(id);
+    info.nominal_length = nominal_length_for(id);
+    info.expected_views_per_month = weights[id];
+    total_views_ += weights[id];
+    items_.push_back(info);
+  }
+}
+
+const ContentInfo& Catalogue::item(std::size_t id) const {
+  CL_EXPECTS(id < items_.size());
+  return items_[id];
+}
+
+std::uint32_t Catalogue::sample(Rng& rng) const {
+  return static_cast<std::uint32_t>(sampler_(rng));
+}
+
+}  // namespace cl

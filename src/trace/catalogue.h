@@ -1,0 +1,54 @@
+// catalogue.h — the content catalogue and its popularity model.
+//
+// A catch-up TV catalogue is a few very popular items plus a long tail
+// (paper Fig. 3 left). We model per-item monthly demand as a Zipf law over
+// the tail, optionally prepended with explicit "exemplar" items whose view
+// counts are pinned — the paper's Fig. 2 studies three such exemplars
+// (~100 K, ~10 K and ~1 K views per month).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace cl {
+
+/// Static description of one content item.
+struct ContentInfo {
+  std::uint32_t id = 0;
+  Seconds nominal_length;  ///< full programme length
+  double expected_views_per_month = 0;  ///< demand calibration target
+};
+
+/// The full catalogue plus a sampler over items weighted by popularity.
+class Catalogue {
+ public:
+  /// Builds a catalogue of `tail_size` Zipf-popular items, preceded by one
+  /// pinned item per entry of `exemplar_views` (ids 0..k-1).
+  ///
+  /// `total_tail_views` is the monthly demand spread over the tail;
+  /// programme lengths cycle deterministically over a realistic mix of
+  /// 10-minute shorts, 30-minute episodes and 60-minute programmes.
+  Catalogue(std::vector<double> exemplar_views, std::size_t tail_size,
+            double total_tail_views, double zipf_exponent);
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] std::size_t exemplar_count() const { return exemplars_; }
+  [[nodiscard]] const ContentInfo& item(std::size_t id) const;
+
+  /// Sum of expected monthly views over the whole catalogue.
+  [[nodiscard]] double total_views() const { return total_views_; }
+
+  /// Samples one content id according to popularity.
+  [[nodiscard]] std::uint32_t sample(Rng& rng) const;
+
+ private:
+  std::vector<ContentInfo> items_;
+  std::size_t exemplars_;
+  double total_views_;
+  DiscreteSampler sampler_;
+};
+
+}  // namespace cl

@@ -1,0 +1,37 @@
+#include "trace/filter.h"
+
+namespace cl {
+
+Trace filter_trace(const Trace& trace,
+                   const std::function<bool(const SessionRecord&)>& keep) {
+  Trace out;
+  out.span = trace.span;
+  for (const auto& s : trace.sessions) {
+    if (keep(s)) out.sessions.push_back(s);
+  }
+  return out;
+}
+
+Trace filter_by_isp(const Trace& trace, std::uint32_t isp) {
+  return filter_trace(trace,
+                      [isp](const SessionRecord& s) { return s.isp == isp; });
+}
+
+Trace filter_by_content(const Trace& trace, std::uint32_t content) {
+  return filter_trace(trace, [content](const SessionRecord& s) {
+    return s.content == content;
+  });
+}
+
+Trace filter_by_bitrate(const Trace& trace, BitrateClass c) {
+  return filter_trace(
+      trace, [c](const SessionRecord& s) { return s.bitrate == c; });
+}
+
+Trace filter_by_start_window(const Trace& trace, Seconds from, Seconds to) {
+  return filter_trace(trace, [from, to](const SessionRecord& s) {
+    return s.start >= from.value() && s.start < to.value();
+  });
+}
+
+}  // namespace cl

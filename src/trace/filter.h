@@ -1,0 +1,35 @@
+// filter.h — trace slicing helpers.
+//
+// The paper's analyses repeatedly slice the workload: per ISP (ISP-friendly
+// swarms), per content (Fig. 2's exemplars), per day (Fig. 4), per bitrate
+// class. All filters preserve the original span so capacity measurements
+// stay comparable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "trace/bitrate.h"
+#include "trace/session.h"
+
+namespace cl {
+
+/// Generic filter: keeps sessions for which `keep` returns true.
+[[nodiscard]] Trace filter_trace(
+    const Trace& trace, const std::function<bool(const SessionRecord&)>& keep);
+
+/// Sessions of one ISP.
+[[nodiscard]] Trace filter_by_isp(const Trace& trace, std::uint32_t isp);
+
+/// Sessions of one content item.
+[[nodiscard]] Trace filter_by_content(const Trace& trace,
+                                      std::uint32_t content);
+
+/// Sessions of one bitrate class.
+[[nodiscard]] Trace filter_by_bitrate(const Trace& trace, BitrateClass c);
+
+/// Sessions *starting* within [from, to) seconds of the epoch.
+[[nodiscard]] Trace filter_by_start_window(const Trace& trace, Seconds from,
+                                           Seconds to);
+
+}  // namespace cl

@@ -1,0 +1,25 @@
+#include "trace/session.h"
+
+#include "util/error.h"
+
+namespace cl {
+
+Bits Trace::total_volume() const {
+  Bits sum;
+  for (const auto& s : sessions) sum += s.volume();
+  return sum;
+}
+
+void Trace::validate() const {
+  CL_EXPECTS(span.value() >= 0);
+  double prev_start = 0;
+  for (const auto& s : sessions) {
+    CL_EXPECTS(s.duration >= 0);
+    CL_EXPECTS(s.start >= 0);
+    CL_EXPECTS(s.start >= prev_start);
+    CL_EXPECTS(s.end() <= span.value() + 1e-6);
+    prev_start = s.start;
+  }
+}
+
+}  // namespace cl

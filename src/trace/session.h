@@ -1,0 +1,52 @@
+// session.h — the atomic record of the workload: one streaming session.
+//
+// Mirrors the fields of the BBC iPlayer trace the paper relies on: who
+// watched what, when, for how long, at which bitrate, from which ISP and
+// network position. `household` models the IP-address sharing visible in
+// Table I (3.3 M users behind 1.5 M IP addresses).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/bitrate.h"
+#include "util/units.h"
+
+namespace cl {
+
+/// One user session streaming one content item.
+struct SessionRecord {
+  std::uint32_t user = 0;       ///< stable user id
+  std::uint32_t household = 0;  ///< shared-IP household id
+  std::uint32_t content = 0;    ///< content item id
+  std::uint32_t isp = 0;        ///< index of the user's ISP in the Metro
+  std::uint32_t exp = 0;        ///< exchange point id within the ISP tree
+  BitrateClass bitrate = BitrateClass::kSd;  ///< stream bitrate class
+  double start = 0;     ///< seconds since trace epoch
+  double duration = 0;  ///< watched seconds (>= 0)
+
+  [[nodiscard]] Seconds start_time() const { return Seconds{start}; }
+  [[nodiscard]] Seconds watch_time() const { return Seconds{duration}; }
+  [[nodiscard]] double end() const { return start + duration; }
+  /// Stream bitrate β of this session.
+  [[nodiscard]] BitRate beta() const { return bitrate_of(bitrate); }
+  /// Useful traffic of the session: β · duration.
+  [[nodiscard]] Bits volume() const { return beta() * watch_time(); }
+};
+
+/// A workload trace: flat, start-time-ordered session list plus its span.
+struct Trace {
+  std::vector<SessionRecord> sessions;
+  Seconds span;  ///< total covered duration (epoch 0 .. span)
+
+  [[nodiscard]] bool empty() const { return sessions.empty(); }
+  [[nodiscard]] std::size_t size() const { return sessions.size(); }
+
+  /// Total useful traffic of all sessions.
+  [[nodiscard]] Bits total_volume() const;
+
+  /// Verifies ordering/field invariants; throws cl::InvalidArgument.
+  void validate() const;
+};
+
+}  // namespace cl

@@ -1,0 +1,173 @@
+#include "trace/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace cl {
+
+namespace {
+
+std::vector<UserProfile> build_users(const TraceConfig& config,
+                                     const Metro& metro) {
+  Rng rng(config.seed ^ 0x5a5a5a5a5a5a5a5aULL);
+  Rng activity_rng(config.seed ^ 0xa5a5a5a5a5a5a5a5ULL);
+  Rng taste_rng(config.seed ^ 0x3c3c3c3c3c3c3c3cULL);
+  const auto households = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(std::lround(
+             config.households_ratio * static_cast<double>(config.users))));
+  std::vector<UserProfile> users;
+  users.reserve(config.users);
+  for (std::uint32_t u = 0; u < config.users; ++u) {
+    UserProfile profile;
+    profile.isp = metro.sample_isp(rng);
+    profile.exp = metro.place_user(profile.isp, rng).exp;
+    profile.household =
+        static_cast<std::uint32_t>(rng.uniform_index(households));
+    profile.activity =
+        activity_rng.lognormal(0.0, config.user_activity_sigma);
+    profile.mainstream = taste_rng.uniform();
+    users.push_back(profile);
+  }
+  return users;
+}
+
+std::vector<double> taste_weights(const std::vector<UserProfile>& users,
+                                  double skew, bool head) {
+  std::vector<double> w;
+  w.reserve(users.size());
+  for (const auto& u : users) {
+    const double taste = head ? u.mainstream : 1.0 - u.mainstream;
+    // The epsilon keeps every user reachable from every tier.
+    w.push_back(u.activity * (std::pow(taste, skew) + 1e-9));
+  }
+  return w;
+}
+
+}  // namespace
+
+std::array<double, 24> TraceConfig::default_diurnal() {
+  // Catch-up TV: overnight trough, daytime shoulder, strong evening peak.
+  return {0.40, 0.25, 0.15, 0.10, 0.10, 0.15, 0.30, 0.50,
+          0.70, 0.80, 0.90, 1.00, 1.10, 1.00, 1.00, 1.10,
+          1.30, 1.70, 2.30, 3.00, 3.20, 2.80, 1.80, 0.90};
+}
+
+TraceConfig TraceConfig::london_month_scaled(double days) {
+  TraceConfig config;
+  config.days = days;
+  config.users = 30000;
+  config.exemplar_views = {100000, 10000, 1000};
+  // "Top episodes" head: the few hundred popular broadcast episodes that
+  // dominate a catch-up month.
+  double views = 300000;
+  for (int i = 0; i < 28; ++i) {
+    config.exemplar_views.push_back(views);
+    views *= 0.90;
+  }
+  // Mid/long tail calibrated so the median catalogue item saves ~1-2 %
+  // (paper Fig. 3) while the aggregate stays in the Fig. 4 band.
+  config.catalogue_tail = 500;
+  config.tail_views = 1200000;
+  config.bitrate_mix = {0.08, 0.72, 0.15, 0.05};
+  return config;
+}
+
+TraceGenerator::TraceGenerator(TraceConfig config, const Metro& metro)
+    : config_([&] {
+        CL_EXPECTS(config.days >= 1);
+        CL_EXPECTS(config.users >= 1);
+        CL_EXPECTS(config.households_ratio > 0 &&
+                   config.households_ratio <= 1);
+        CL_EXPECTS(config.watch_mean_fraction > 0 &&
+                   config.watch_mean_fraction <= 1);
+        CL_EXPECTS(config.watch_sigma >= 0);
+        CL_EXPECTS(config.taste_skew >= 0);
+        return std::move(config);
+      }()),
+      metro_(&metro),
+      catalogue_(config_.exemplar_views, config_.catalogue_tail,
+                 config_.tail_views, config_.zipf_exponent),
+      users_(build_users(config_, metro)),
+      head_user_sampler_(taste_weights(users_, config_.taste_skew, true)),
+      tail_user_sampler_(taste_weights(users_, config_.taste_skew, false)),
+      hour_sampler_(std::vector<double>(config_.diurnal.begin(),
+                                        config_.diurnal.end())),
+      bitrate_sampler_(std::vector<double>(config_.bitrate_mix.begin(),
+                                           config_.bitrate_mix.end())) {}
+
+Trace TraceGenerator::generate() {
+  std::vector<SessionRecord> sessions;
+  sessions.reserve(static_cast<std::size_t>(
+      catalogue_.total_views() * config_.days / 30.0 * 1.1));
+  for (std::uint32_t id = 0; id < catalogue_.size(); ++id) {
+    Rng rng(config_.seed ^ (0x517cc1b727220a95ULL * (id + 1)));
+    append_content_sessions(id, rng, sessions);
+  }
+  std::sort(sessions.begin(), sessions.end(),
+            [](const SessionRecord& a, const SessionRecord& b) {
+              if (a.start != b.start) return a.start < b.start;
+              if (a.content != b.content) return a.content < b.content;
+              return a.user < b.user;
+            });
+  Trace trace{std::move(sessions), config_.span()};
+  trace.validate();
+  return trace;
+}
+
+Trace TraceGenerator::generate_content(std::uint32_t content_id) {
+  CL_EXPECTS(content_id < catalogue_.size());
+  std::vector<SessionRecord> sessions;
+  Rng rng(config_.seed ^ (0x517cc1b727220a95ULL * (content_id + 1)));
+  append_content_sessions(content_id, rng, sessions);
+  std::sort(sessions.begin(), sessions.end(),
+            [](const SessionRecord& a, const SessionRecord& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.user < b.user;
+            });
+  Trace trace{std::move(sessions), config_.span()};
+  trace.validate();
+  return trace;
+}
+
+void TraceGenerator::append_content_sessions(
+    std::uint32_t content_id, Rng& rng,
+    std::vector<SessionRecord>& out) const {
+  const ContentInfo& info = catalogue_.item(content_id);
+  const double expected =
+      info.expected_views_per_month * config_.days / 30.0;
+  const std::uint64_t n = rng.poisson(expected);
+  const auto whole_days =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(config_.days));
+  const double span_s = config_.span().value();
+  // Watch fraction ~ LogNormal(mu, sigma) with mean watch_mean_fraction.
+  const double mu = std::log(config_.watch_mean_fraction) -
+                    0.5 * config_.watch_sigma * config_.watch_sigma;
+  // Head (exemplar) contents draw mainstream viewers; the tail draws
+  // niche viewers (see TraceConfig::taste_skew).
+  const DiscreteSampler& user_sampler =
+      content_id < catalogue_.exemplar_count() ? head_user_sampler_
+                                               : tail_user_sampler_;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    SessionRecord s;
+    s.content = content_id;
+    s.user = static_cast<std::uint32_t>(user_sampler(rng));
+    const UserProfile& profile = users_[s.user];
+    s.household = profile.household;
+    s.isp = profile.isp;
+    s.exp = profile.exp;
+    s.bitrate = kAllBitrateClasses[bitrate_sampler_(rng)];
+    const double day = static_cast<double>(rng.uniform_index(whole_days));
+    const double hour = static_cast<double>(hour_sampler_(rng));
+    s.start = day * 86400.0 + hour * 3600.0 + rng.uniform(0.0, 3600.0);
+    const double fraction =
+        std::clamp(rng.lognormal(mu, config_.watch_sigma), 0.05, 1.0);
+    s.duration = info.nominal_length.value() * fraction;
+    if (s.start >= span_s) s.start = span_s - 1.0;
+    if (s.end() > span_s) s.duration = span_s - s.start;
+    out.push_back(s);
+  }
+}
+
+}  // namespace cl

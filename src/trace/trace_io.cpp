@@ -1,0 +1,103 @@
+#include "trace/trace_io.h"
+
+#include <algorithm>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/error.h"
+
+namespace cl {
+
+namespace {
+
+double parse_double(const std::string& text, const char* what) {
+  double v = 0;
+  const auto res = std::from_chars(text.data(), text.data() + text.size(), v);
+  if (res.ec != std::errc() || res.ptr != text.data() + text.size()) {
+    throw ParseError(std::string("bad ") + what + ": '" + text + "'");
+  }
+  return v;
+}
+
+std::uint32_t parse_u32(const std::string& text, const char* what) {
+  std::uint32_t v = 0;
+  const auto res = std::from_chars(text.data(), text.data() + text.size(), v);
+  if (res.ec != std::errc() || res.ptr != text.data() + text.size()) {
+    throw ParseError(std::string("bad ") + what + ": '" + text + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, const Trace& trace) {
+  out << "#span=" << trace.span.value() << '\n';
+  CsvWriter writer(out, {"user", "household", "content", "isp", "exp",
+                         "bitrate", "start", "duration"});
+  for (const auto& s : trace.sessions) {
+    writer.row(s.user, s.household, s.content, s.isp, s.exp,
+               std::string(to_string(s.bitrate)), s.start, s.duration);
+  }
+}
+
+void write_trace_file(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot create trace file: " + path);
+  write_trace(out, trace);
+  if (!out) throw IoError("failed writing trace file: " + path);
+}
+
+Trace read_trace(std::istream& in) {
+  double span = -1;
+  if (in.peek() == '#') {
+    std::string comment;
+    std::getline(in, comment);
+    const auto eq = comment.find('=');
+    if (comment.rfind("#span=", 0) == 0 && eq != std::string::npos) {
+      span = parse_double(comment.substr(eq + 1), "span");
+    }
+  }
+  const CsvDocument doc = read_csv(in);
+  const auto c_user = doc.column("user");
+  const auto c_household = doc.column("household");
+  const auto c_content = doc.column("content");
+  const auto c_isp = doc.column("isp");
+  const auto c_exp = doc.column("exp");
+  const auto c_bitrate = doc.column("bitrate");
+  const auto c_start = doc.column("start");
+  const auto c_duration = doc.column("duration");
+
+  Trace trace;
+  trace.sessions.reserve(doc.rows.size());
+  double max_end = 0;
+  for (const auto& row : doc.rows) {
+    SessionRecord s;
+    s.user = parse_u32(row[c_user], "user");
+    s.household = parse_u32(row[c_household], "household");
+    s.content = parse_u32(row[c_content], "content");
+    s.isp = parse_u32(row[c_isp], "isp");
+    s.exp = parse_u32(row[c_exp], "exp");
+    s.bitrate = bitrate_class_from_string(row[c_bitrate]);
+    s.start = parse_double(row[c_start], "start");
+    s.duration = parse_double(row[c_duration], "duration");
+    max_end = std::max(max_end, s.end());
+    trace.sessions.push_back(s);
+  }
+  std::sort(trace.sessions.begin(), trace.sessions.end(),
+            [](const SessionRecord& a, const SessionRecord& b) {
+              return a.start < b.start;
+            });
+  trace.span = Seconds{span >= 0 ? span : max_end};
+  trace.validate();
+  return trace;
+}
+
+Trace read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open trace file: " + path);
+  return read_trace(in);
+}
+
+}  // namespace cl

@@ -1,0 +1,47 @@
+#include "trace/trace_stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace cl {
+
+TraceStats compute_stats(const Trace& trace) {
+  TraceStats stats;
+  stats.sessions = trace.sessions.size();
+  std::unordered_set<std::uint32_t> users, households, contents;
+  users.reserve(trace.sessions.size());
+  for (const auto& s : trace.sessions) {
+    users.insert(s.user);
+    households.insert(s.household);
+    contents.insert(s.content);
+    stats.total_watch_time += s.watch_time();
+    stats.total_volume += s.volume();
+    if (s.isp >= stats.sessions_per_isp.size()) {
+      stats.sessions_per_isp.resize(s.isp + 1, 0);
+    }
+    ++stats.sessions_per_isp[s.isp];
+    ++stats.sessions_per_bitrate[index(s.bitrate)];
+  }
+  stats.distinct_users = users.size();
+  stats.distinct_households = households.size();
+  stats.distinct_contents = contents.size();
+  if (stats.sessions > 0) {
+    stats.mean_session_duration =
+        stats.total_watch_time / static_cast<double>(stats.sessions);
+  }
+  if (trace.span.value() > 0) {
+    stats.mean_concurrency = stats.total_watch_time / trace.span;
+  }
+  return stats;
+}
+
+std::vector<std::uint64_t> views_per_content(const Trace& trace) {
+  std::vector<std::uint64_t> views;
+  for (const auto& s : trace.sessions) {
+    if (s.content >= views.size()) views.resize(s.content + 1, 0);
+    ++views[s.content];
+  }
+  return views;
+}
+
+}  // namespace cl

@@ -1,0 +1,39 @@
+// trace_stats.h — descriptive statistics of a workload trace (Table I).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "trace/bitrate.h"
+#include "trace/session.h"
+#include "util/units.h"
+
+namespace cl {
+
+/// Table-I-style description of one trace (plus per-ISP / per-bitrate
+/// partitions used by later experiments).
+struct TraceStats {
+  std::uint64_t sessions = 0;
+  std::uint64_t distinct_users = 0;
+  std::uint64_t distinct_households = 0;  ///< "IP addresses" in Table I
+  std::uint64_t distinct_contents = 0;
+  Seconds total_watch_time;
+  Bits total_volume;
+  Seconds mean_session_duration;
+
+  std::vector<std::uint64_t> sessions_per_isp;
+  std::array<std::uint64_t, kBitrateClasses> sessions_per_bitrate{};
+
+  /// Mean concurrent viewers over the span (Little's law on the whole
+  /// system): total watch time / span.
+  double mean_concurrency = 0;
+};
+
+/// Computes TraceStats in one pass.
+[[nodiscard]] TraceStats compute_stats(const Trace& trace);
+
+/// Views per content id (index = content id); used for popularity CCDFs.
+[[nodiscard]] std::vector<std::uint64_t> views_per_content(const Trace& trace);
+
+}  // namespace cl

@@ -1,0 +1,105 @@
+#include "util/args.h"
+
+#include <charconv>
+
+#include "util/error.h"
+
+namespace cl {
+
+Args::Args(std::vector<std::string> argv, std::set<std::string> booleans) {
+  std::size_t i = 0;
+  if (!argv.empty() && argv[0].rfind("--", 0) != 0) {
+    command_ = argv[0];
+    i = 1;
+  }
+  for (; i < argv.size(); ++i) {
+    const std::string& token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      throw ParseError("unexpected positional argument: '" + token + "'");
+    }
+    std::string name = token.substr(2);
+    std::string value;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else if (booleans.contains(name)) {
+      value = "true";
+    } else {
+      if (i + 1 >= argv.size()) {
+        throw ParseError("flag --" + name + " expects a value");
+      }
+      value = argv[++i];
+    }
+    if (name.empty()) throw ParseError("empty flag name");
+    if (values_.contains(name)) {
+      throw ParseError("duplicate flag --" + name);
+    }
+    values_[name] = std::move(value);
+  }
+}
+
+Args Args::parse(int argc, const char* const* argv,
+                 std::set<std::string> boolean_flags) {
+  std::vector<std::string> tokens;
+  tokens.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+  return Args(std::move(tokens), std::move(boolean_flags));
+}
+
+bool Args::has(const std::string& name) const {
+  if (values_.contains(name)) {
+    read_.insert(name);
+    return true;
+  }
+  return false;
+}
+
+std::optional<std::string> Args::get(const std::string& name) const {
+  if (const auto it = values_.find(name); it != values_.end()) {
+    read_.insert(name);
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+std::string Args::get_or(const std::string& name,
+                         const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  const auto text = get(name);
+  if (!text) return fallback;
+  double v = 0;
+  const auto res =
+      std::from_chars(text->data(), text->data() + text->size(), v);
+  if (res.ec != std::errc() || res.ptr != text->data() + text->size()) {
+    throw ParseError("flag --" + name + " expects a number, got '" + *text +
+                     "'");
+  }
+  return v;
+}
+
+std::int64_t Args::get_int(const std::string& name,
+                           std::int64_t fallback) const {
+  const auto text = get(name);
+  if (!text) return fallback;
+  std::int64_t v = 0;
+  const auto res =
+      std::from_chars(text->data(), text->data() + text->size(), v);
+  if (res.ec != std::errc() || res.ptr != text->data() + text->size()) {
+    throw ParseError("flag --" + name + " expects an integer, got '" + *text +
+                     "'");
+  }
+  return v;
+}
+
+std::vector<std::string> Args::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    if (!read_.contains(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace cl

@@ -1,0 +1,56 @@
+// args.h — minimal command-line argument parsing for the CLI tool.
+//
+// Supports `--flag value`, `--flag=value` and boolean `--flag` switches,
+// plus one leading positional subcommand. Unknown flags are an error (the
+// CLI should never silently ignore a typo that changes an experiment).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cl {
+
+/// Parsed command line: one subcommand plus string-valued options.
+class Args {
+ public:
+  /// Parses argv (excluding argv[0]). `boolean_flags` lists switches that
+  /// take no value. Throws cl::ParseError on malformed input.
+  Args(std::vector<std::string> argv, std::set<std::string> boolean_flags);
+
+  /// Convenience: parse from main()'s argc/argv.
+  [[nodiscard]] static Args parse(int argc, const char* const* argv,
+                                  std::set<std::string> boolean_flags = {});
+
+  /// The leading positional word ("" when none was given).
+  [[nodiscard]] const std::string& command() const { return command_; }
+
+  /// True when --name was present (boolean or valued).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Value of --name, or std::nullopt.
+  [[nodiscard]] std::optional<std::string> get(const std::string& name) const;
+
+  /// Value of --name or `fallback`.
+  [[nodiscard]] std::string get_or(const std::string& name,
+                                   const std::string& fallback) const;
+
+  /// Numeric accessors; throw cl::ParseError on non-numeric input.
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+
+  /// Flags that were parsed but never read — lets the CLI reject typos.
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> read_;
+};
+
+}  // namespace cl

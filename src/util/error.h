@@ -1,0 +1,62 @@
+// error.h — error handling primitives shared by all consumelocal modules.
+//
+// The library follows the C++ Core Guidelines: exceptions signal violations
+// of preconditions/postconditions that callers are not expected to recover
+// from inline, and CL_EXPECTS/CL_ENSURES give contract checks a single,
+// grep-able spelling.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cl {
+
+/// Base class for all exceptions thrown by consumelocal.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a function argument violates its documented domain.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when parsing external input (CSV traces, config) fails.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an I/O operation (trace file read/write) fails.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_failure(const char* kind, const char* cond,
+                                          const char* file, int line) {
+  throw InvalidArgument(std::string(kind) + " violated: `" + cond + "` at " +
+                        file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace cl
+
+/// Precondition check: throws cl::InvalidArgument when `cond` is false.
+#define CL_EXPECTS(cond)                                                     \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::cl::detail::contract_failure("precondition", #cond, __FILE__,        \
+                                     __LINE__);                              \
+  } while (false)
+
+/// Postcondition check: throws cl::InvalidArgument when `cond` is false.
+#define CL_ENSURES(cond)                                                     \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::cl::detail::contract_failure("postcondition", #cond, __FILE__,       \
+                                     __LINE__);                              \
+  } while (false)

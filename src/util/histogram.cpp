@@ -1,0 +1,113 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace cl {
+
+std::vector<DistPoint> empirical_cdf(std::vector<double> xs) {
+  std::vector<DistPoint> out;
+  if (xs.empty()) return out;
+  std::sort(xs.begin(), xs.end());
+  const auto n = static_cast<double>(xs.size());
+  out.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    // Collapse runs of equal values to their final (highest) CDF value.
+    if (i + 1 < xs.size() && xs[i + 1] == xs[i]) continue;
+    out.push_back({xs[i], static_cast<double>(i + 1) / n});
+  }
+  return out;
+}
+
+std::vector<DistPoint> empirical_ccdf(std::vector<double> xs) {
+  auto cdf = empirical_cdf(std::move(xs));
+  for (auto& p : cdf) p.y = 1.0 - p.y;
+  return cdf;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  CL_EXPECTS(bins >= 1);
+  CL_EXPECTS(lo < hi);
+}
+
+void Histogram::add(double x) {
+  auto idx = static_cast<std::ptrdiff_t>(std::floor((x - lo_) / width_));
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  CL_EXPECTS(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::edge(std::size_t bin) const {
+  CL_EXPECTS(bin <= counts_.size());
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::center(std::size_t bin) const {
+  CL_EXPECTS(bin < counts_.size());
+  return lo_ + width_ * (static_cast<double>(bin) + 0.5);
+}
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t bins)
+    : log_lo_(std::log10(lo)), log_hi_(std::log10(hi)),
+      log_width_((log_hi_ - log_lo_) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  CL_EXPECTS(lo > 0);
+  CL_EXPECTS(lo < hi);
+  CL_EXPECTS(bins >= 1);
+}
+
+void LogHistogram::add(double x) {
+  ++total_;
+  if (x <= 0) {
+    ++underflow_;
+    return;
+  }
+  auto idx = static_cast<std::ptrdiff_t>(
+      std::floor((std::log10(x) - log_lo_) / log_width_));
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+}
+
+std::size_t LogHistogram::count(std::size_t bin) const {
+  CL_EXPECTS(bin < counts_.size());
+  return counts_[bin];
+}
+
+double LogHistogram::edge(std::size_t bin) const {
+  CL_EXPECTS(bin <= counts_.size());
+  return std::pow(10.0, log_lo_ + log_width_ * static_cast<double>(bin));
+}
+
+double LogHistogram::center(std::size_t bin) const {
+  CL_EXPECTS(bin < counts_.size());
+  return std::pow(10.0,
+                  log_lo_ + log_width_ * (static_cast<double>(bin) + 0.5));
+}
+
+std::vector<DistPoint> thin(const std::vector<DistPoint>& pts,
+                            std::size_t max_points) {
+  CL_EXPECTS(max_points >= 2);
+  if (pts.size() <= max_points) return pts;
+  std::vector<DistPoint> out;
+  out.reserve(max_points);
+  const double step = static_cast<double>(pts.size() - 1) /
+                      static_cast<double>(max_points - 1);
+  for (std::size_t i = 0; i < max_points; ++i) {
+    out.push_back(pts[static_cast<std::size_t>(
+        std::round(static_cast<double>(i) * step))]);
+  }
+  return out;
+}
+
+}  // namespace cl

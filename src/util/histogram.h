@@ -1,0 +1,79 @@
+// histogram.h — linear and logarithmic histograms plus empirical CDF/CCDF
+// extraction, used to regenerate the paper's distribution plots
+// (Fig. 3: per-swarm capacity & savings CCDFs; Fig. 6: per-user CCT CDF).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cl {
+
+/// One (x, y) point of an empirical distribution function.
+struct DistPoint {
+  double x = 0;  ///< sample value
+  double y = 0;  ///< CDF or CCDF value at x
+};
+
+/// Empirical CDF of a sample: y = P[X <= x], evaluated at each distinct
+/// sample value. Input need not be sorted.
+[[nodiscard]] std::vector<DistPoint> empirical_cdf(std::vector<double> xs);
+
+/// Empirical CCDF of a sample: y = P[X > x]. The paper plots CCDFs on
+/// log-log axes; points with y == 0 (the maximum) are retained so callers
+/// can decide how to render them.
+[[nodiscard]] std::vector<DistPoint> empirical_ccdf(std::vector<double> xs);
+
+/// Fixed-width histogram over [lo, hi); samples outside are clamped to the
+/// first/last bin.
+class Histogram {
+ public:
+  /// Precondition: bins >= 1, lo < hi.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+  /// Left edge of bin i.
+  [[nodiscard]] double edge(std::size_t bin) const;
+  /// Midpoint of bin i.
+  [[nodiscard]] double center(std::size_t bin) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Logarithmically binned histogram over [lo, hi), lo > 0. Matches the
+/// log-scale x-axes of Figs. 2 and 3.
+class LogHistogram {
+ public:
+  /// Precondition: 0 < lo < hi, bins >= 1.
+  LogHistogram(double lo, double hi, std::size_t bins);
+
+  /// Samples <= 0 are counted in an underflow bucket and excluded from bins.
+  void add(double x);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double edge(std::size_t bin) const;
+  /// Geometric midpoint of bin i.
+  [[nodiscard]] double center(std::size_t bin) const;
+
+ private:
+  double log_lo_, log_hi_, log_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Downsamples an empirical distribution to at most `max_points` points,
+/// keeping first and last; keeps bench output readable.
+[[nodiscard]] std::vector<DistPoint> thin(const std::vector<DistPoint>& pts,
+                                          std::size_t max_points);
+
+}  // namespace cl

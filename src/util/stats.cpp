@@ -1,0 +1,112 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace cl {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::mean() const { return n_ ? mean_ : 0.0; }
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return n_ ? min_ : 0.0; }
+
+double RunningStats::max() const { return n_ ? max_ : 0.0; }
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  CL_EXPECTS(!sorted.empty());
+  CL_EXPECTS(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+Summary summarize(std::vector<double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  std::sort(xs.begin(), xs.end());
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = xs.front();
+  s.max = xs.back();
+  s.p25 = quantile_sorted(xs, 0.25);
+  s.median = quantile_sorted(xs, 0.50);
+  s.p75 = quantile_sorted(xs, 0.75);
+  s.p90 = quantile_sorted(xs, 0.90);
+  s.p99 = quantile_sorted(xs, 0.99);
+  return s;
+}
+
+double mean_abs_relative_error(const std::vector<double>& value,
+                               const std::vector<double>& reference,
+                               double eps) {
+  CL_EXPECTS(value.size() == reference.size());
+  double sum = 0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if (std::fabs(reference[i]) < eps) continue;
+    sum += std::fabs(value[i] - reference[i]) / std::fabs(reference[i]);
+    ++n;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  CL_EXPECTS(a.size() == b.size());
+  if (a.size() < 2) return 0.0;
+  RunningStats sa, sb;
+  for (double x : a) sa.add(x);
+  for (double x : b) sb.add(x);
+  const double ma = sa.mean(), mb = sb.mean();
+  double cov = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+  }
+  cov /= static_cast<double>(a.size() - 1);
+  const double denom = sa.stddev() * sb.stddev();
+  return denom > 0 ? cov / denom : 0.0;
+}
+
+}  // namespace cl

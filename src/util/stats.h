@@ -1,0 +1,75 @@
+// stats.h — streaming and batch descriptive statistics.
+//
+// Used throughout the benches to summarise per-swarm and per-user
+// distributions (Figs. 3, 6) and to compare simulation against theory
+// (Figs. 2, 4).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cl {
+
+/// Streaming mean/variance/min/max via Welford's algorithm.
+///
+/// Numerically stable for long streams (billions of samples) and mergeable,
+/// so per-shard accumulators can be combined.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Batch summary of a sample vector.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double p25 = 0;
+  double median = 0;
+  double p75 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
+/// Computes a Summary. The input is copied and sorted internally.
+[[nodiscard]] Summary summarize(std::vector<double> xs);
+
+/// Linear-interpolated quantile of a *sorted* sample, q in [0, 1].
+[[nodiscard]] double quantile_sorted(const std::vector<double>& sorted,
+                                     double q);
+
+/// Mean absolute relative error between two equally long series; used to
+/// report theory-vs-simulation agreement. Pairs where |reference| < eps are
+/// skipped (relative error undefined near zero).
+[[nodiscard]] double mean_abs_relative_error(const std::vector<double>& value,
+                                             const std::vector<double>& reference,
+                                             double eps = 1e-12);
+
+/// Pearson correlation coefficient of two equally long series.
+/// Returns 0 when either series is constant.
+[[nodiscard]] double pearson(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+}  // namespace cl

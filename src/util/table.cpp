@@ -1,0 +1,87 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace cl {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  CL_EXPECTS(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  CL_EXPECTS(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_row_numeric(const std::string& label,
+                                const std::vector<double>& values,
+                                int precision) {
+  CL_EXPECTS(values.size() + 1 == header_.size());
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(fmt(v, precision));
+  add_row(std::move(cells));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << std::left << std::setw(static_cast<int>(widths[i])) << row[i];
+      if (i + 1 < row.size()) out << "  ";
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  total += 2 * (widths.size() - 1);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_sci(double v, int precision) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_count(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i == lead || (i > lead && (i - lead) % 3 == 0)) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  return fmt(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace cl

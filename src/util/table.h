@@ -1,0 +1,47 @@
+// table.h — fixed-width console tables for the benchmark harness.
+//
+// Every bench binary prints the rows/series of the paper table or figure it
+// regenerates; this helper keeps that output aligned and diff-friendly.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cl {
+
+/// Column-aligned text table. Collect rows, then render once.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience overload formatting doubles with `precision` digits.
+  void add_row_numeric(const std::string& label,
+                       const std::vector<double>& values, int precision = 4);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with a header underline and two-space column gaps.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (bench output helper).
+[[nodiscard]] std::string fmt(double v, int precision = 4);
+
+/// Formats a double in scientific notation with given precision.
+[[nodiscard]] std::string fmt_sci(double v, int precision = 3);
+
+/// Formats a count with thousands separators (e.g. 23,500,000).
+[[nodiscard]] std::string fmt_count(std::uint64_t v);
+
+/// Formats a fraction as a percentage string, e.g. 0.345 -> "34.5%".
+[[nodiscard]] std::string fmt_pct(double fraction, int precision = 1);
+
+}  // namespace cl

@@ -1,0 +1,178 @@
+// units.h — strong unit types for traffic volume, bitrate, time and energy.
+//
+// The paper's model mixes four dimensioned quantities: data volume (bits),
+// data rate (bits/second), time (seconds), and per-bit energy (nanojoules
+// per bit). Mixing them up silently is the classic source of
+// orders-of-magnitude errors in energy papers, so each gets a distinct type
+// with only the physically meaningful cross-type operators defined:
+//
+//   Bits    = BitRate * Seconds
+//   Energy  = EnergyPerBit * Bits
+//
+// All types are thin `double` wrappers (value semantics, constexpr,
+// trivially copyable); `.value()` exposes the raw number for formatting.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace cl {
+
+namespace detail {
+
+/// CRTP base providing the shared arithmetic of a one-dimensional quantity.
+template <class Derived>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : v_(v) {}
+
+  /// Raw numeric value in the unit's canonical scale.
+  [[nodiscard]] constexpr double value() const { return v_; }
+
+  friend constexpr Derived operator+(Derived a, Derived b) {
+    return Derived{a.value() + b.value()};
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) {
+    return Derived{a.value() - b.value()};
+  }
+  friend constexpr Derived operator*(Derived a, double s) {
+    return Derived{a.value() * s};
+  }
+  friend constexpr Derived operator*(double s, Derived a) {
+    return Derived{s * a.value()};
+  }
+  friend constexpr Derived operator/(Derived a, double s) {
+    return Derived{a.value() / s};
+  }
+  /// Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Derived a, Derived b) {
+    return a.value() / b.value();
+  }
+  friend constexpr auto operator<=>(Derived a, Derived b) {
+    return a.value() <=> b.value();
+  }
+  friend constexpr bool operator==(Derived a, Derived b) {
+    return a.value() == b.value();
+  }
+
+  constexpr Derived& operator+=(Derived b) {
+    v_ += b.value();
+    return static_cast<Derived&>(*this);
+  }
+  constexpr Derived& operator-=(Derived b) {
+    v_ -= b.value();
+    return static_cast<Derived&>(*this);
+  }
+
+ private:
+  double v_{0.0};
+};
+
+}  // namespace detail
+
+/// Data volume in bits.
+class Bits : public detail::Quantity<Bits> {
+ public:
+  using Quantity::Quantity;
+  /// Volume expressed in bytes (8 bits).
+  [[nodiscard]] constexpr double bytes() const { return value() / 8.0; }
+  /// Volume expressed in gigabytes.
+  [[nodiscard]] constexpr double gigabytes() const {
+    return bytes() / 1e9;
+  }
+  [[nodiscard]] static constexpr Bits from_bytes(double b) {
+    return Bits{b * 8.0};
+  }
+};
+
+/// Time duration in seconds.
+class Seconds : public detail::Quantity<Seconds> {
+ public:
+  using Quantity::Quantity;
+  [[nodiscard]] constexpr double minutes() const { return value() / 60.0; }
+  [[nodiscard]] constexpr double hours() const { return value() / 3600.0; }
+  [[nodiscard]] static constexpr Seconds from_minutes(double m) {
+    return Seconds{m * 60.0};
+  }
+  [[nodiscard]] static constexpr Seconds from_hours(double h) {
+    return Seconds{h * 3600.0};
+  }
+  [[nodiscard]] static constexpr Seconds from_days(double d) {
+    return Seconds{d * 86400.0};
+  }
+};
+
+/// Data rate in bits per second.
+class BitRate : public detail::Quantity<BitRate> {
+ public:
+  using Quantity::Quantity;
+  [[nodiscard]] constexpr double mbps() const { return value() / 1e6; }
+  [[nodiscard]] static constexpr BitRate from_mbps(double m) {
+    return BitRate{m * 1e6};
+  }
+};
+
+/// Per-bit energy in nanojoules per bit — the unit of Table IV.
+class EnergyPerBit : public detail::Quantity<EnergyPerBit> {
+ public:
+  using Quantity::Quantity;
+  [[nodiscard]] constexpr double nj_per_bit() const { return value(); }
+};
+
+/// Absolute energy in nanojoules.
+class Energy : public detail::Quantity<Energy> {
+ public:
+  using Quantity::Quantity;
+  [[nodiscard]] constexpr double nanojoules() const { return value(); }
+  [[nodiscard]] constexpr double joules() const { return value() / 1e9; }
+  /// Kilowatt-hours, for human-scale reporting (1 kWh = 3.6e15 nJ).
+  [[nodiscard]] constexpr double kwh() const { return value() / 3.6e15; }
+};
+
+/// volume = rate × time
+constexpr Bits operator*(BitRate r, Seconds t) {
+  return Bits{r.value() * t.value()};
+}
+constexpr Bits operator*(Seconds t, BitRate r) { return r * t; }
+
+/// energy = per-bit cost × volume
+constexpr Energy operator*(EnergyPerBit e, Bits b) {
+  return Energy{e.value() * b.value()};
+}
+constexpr Energy operator*(Bits b, EnergyPerBit e) { return e * b; }
+
+namespace literals {
+constexpr Bits operator""_bits(long double v) {
+  return Bits{static_cast<double>(v)};
+}
+constexpr Bits operator""_bits(unsigned long long v) {
+  return Bits{static_cast<double>(v)};
+}
+constexpr BitRate operator""_mbps(long double v) {
+  return BitRate::from_mbps(static_cast<double>(v));
+}
+constexpr BitRate operator""_mbps(unsigned long long v) {
+  return BitRate::from_mbps(static_cast<double>(v));
+}
+constexpr Seconds operator""_s(long double v) {
+  return Seconds{static_cast<double>(v)};
+}
+constexpr Seconds operator""_s(unsigned long long v) {
+  return Seconds{static_cast<double>(v)};
+}
+constexpr Seconds operator""_min(long double v) {
+  return Seconds::from_minutes(static_cast<double>(v));
+}
+constexpr Seconds operator""_min(unsigned long long v) {
+  return Seconds::from_minutes(static_cast<double>(v));
+}
+constexpr EnergyPerBit operator""_njpb(long double v) {
+  return EnergyPerBit{static_cast<double>(v)};
+}
+constexpr EnergyPerBit operator""_njpb(unsigned long long v) {
+  return EnergyPerBit{static_cast<double>(v)};
+}
+}  // namespace literals
+
+}  // namespace cl

@@ -1,0 +1,121 @@
+// Tests for ext/adoption.h — the incentive participation fixed point.
+#include "ext/adoption.h"
+
+#include <gtest/gtest.h>
+
+#include "model/carbon_credit.h"
+#include "topology/isp_topology.h"
+#include "util/error.h"
+
+namespace cl {
+namespace {
+
+AdoptionModel baliga_adoption() {
+  return AdoptionModel(
+      SavingsModel(baliga_params(), IspTopology::london_default()));
+}
+
+AdoptionConfig popular_config() {
+  AdoptionConfig config;
+  config.swarm_capacity = 50;
+  config.uniform_thresholds(1000, -0.5, 0.5);
+  return config;
+}
+
+TEST(Adoption, WillingFractionCounting) {
+  const std::vector<double> thresholds{-0.5, 0.0, 0.5};
+  EXPECT_DOUBLE_EQ(AdoptionModel::willing_fraction(-1.0, thresholds), 0.0);
+  EXPECT_DOUBLE_EQ(AdoptionModel::willing_fraction(0.0, thresholds),
+                   2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(AdoptionModel::willing_fraction(1.0, thresholds), 1.0);
+}
+
+TEST(Adoption, CctDecreasesWithParticipation) {
+  // More sharers split the same offloadable demand: credits dilute.
+  const auto model = baliga_adoption();
+  const auto config = popular_config();
+  double prev = model.cct_at(0.05, config);
+  for (double a : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const double cur = model.cct_at(a, config);
+    EXPECT_LE(cur, prev + 1e-12) << "a=" << a;
+    prev = cur;
+  }
+}
+
+TEST(Adoption, FullParticipationMatchesEquation13) {
+  // At a = 1 on a huge swarm every user uploads G ≈ 1 of their demand:
+  // the payoff is exactly the asymptotic system CCT of Eq. 13.
+  const auto model = baliga_adoption();
+  auto config = popular_config();
+  config.swarm_capacity = 1e5;
+  EXPECT_NEAR(model.cct_at(1.0, config), cct_ceiling(baliga_params()), 0.01);
+}
+
+TEST(Adoption, ConvergesToInteriorFixedPoint) {
+  const auto model = baliga_adoption();
+  const auto config = popular_config();
+  const auto result = model.solve(config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.participation, 0.3);
+  EXPECT_LT(result.participation, 1.0);
+  // Fixed point condition: willing(cct(a)) ≈ a (up to threshold grid).
+  EXPECT_NEAR(AdoptionModel::willing_fraction(result.cct, config.thresholds),
+              result.participation, 0.01);
+}
+
+TEST(Adoption, NicheContentAttractsFewSharers) {
+  const auto model = baliga_adoption();
+  auto popular = popular_config();
+  auto niche = popular_config();
+  niche.swarm_capacity = 0.05;
+  const auto rp = model.solve(popular);
+  const auto rn = model.solve(niche);
+  EXPECT_LT(rn.participation, rp.participation);
+  EXPECT_LT(rn.cct, 0.0);  // niche sharers stay carbon negative
+}
+
+TEST(Adoption, GenerousCreditsRaiseParticipation) {
+  // Baliga's bigger server saving pays more credit than Valancius.
+  const AdoptionModel valancius(SavingsModel(
+      valancius_params(), IspTopology::london_default()));
+  const auto config = popular_config();
+  EXPECT_GT(baliga_adoption().solve(config).participation,
+            valancius.solve(config).participation);
+}
+
+TEST(Adoption, AltruistsOnlyStillJoin) {
+  // If every user demands CCT >= 0.9 (unreachable), nobody participates.
+  const auto model = baliga_adoption();
+  auto config = popular_config();
+  config.uniform_thresholds(100, 0.9, 1.5);
+  const auto result = model.solve(config);
+  EXPECT_LT(result.participation, 0.01);
+}
+
+TEST(Adoption, TrajectoryRecorded) {
+  const auto model = baliga_adoption();
+  const auto result = model.solve(popular_config());
+  EXPECT_GE(result.trajectory.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.trajectory.front(), 0.3);
+}
+
+TEST(Adoption, UniformThresholdsHelper) {
+  AdoptionConfig config;
+  config.uniform_thresholds(3, -1.0, 1.0);
+  ASSERT_EQ(config.thresholds.size(), 3u);
+  EXPECT_DOUBLE_EQ(config.thresholds[0], -1.0);
+  EXPECT_DOUBLE_EQ(config.thresholds[1], 0.0);
+  EXPECT_DOUBLE_EQ(config.thresholds[2], 1.0);
+}
+
+TEST(Adoption, RejectsBadInput) {
+  const auto model = baliga_adoption();
+  AdoptionConfig config;  // empty thresholds
+  EXPECT_THROW(model.solve(config), InvalidArgument);
+  config.uniform_thresholds(10, 0, 1);
+  EXPECT_THROW(model.cct_at(1.5, config), InvalidArgument);
+  EXPECT_THROW(AdoptionModel::willing_fraction(0.0, {}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cl

@@ -1,0 +1,83 @@
+// Tests for util/args.h — the CLI argument parser.
+#include "util/args.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace cl {
+namespace {
+
+TEST(Args, CommandAndFlags) {
+  const Args args({"simulate", "--qb", "0.5", "--trace", "t.csv"}, {});
+  EXPECT_EQ(args.command(), "simulate");
+  EXPECT_EQ(args.get_or("trace", ""), "t.csv");
+  EXPECT_DOUBLE_EQ(args.get_double("qb", 1.0), 0.5);
+}
+
+TEST(Args, EqualsSyntax) {
+  const Args args({"plan", "--target=0.3"}, {});
+  EXPECT_DOUBLE_EQ(args.get_double("target", 0), 0.3);
+}
+
+TEST(Args, BooleanFlags) {
+  const Args args({"simulate", "--cross-isp"}, {"cross-isp"});
+  EXPECT_TRUE(args.has("cross-isp"));
+  EXPECT_FALSE(args.has("mixed-bitrate"));
+}
+
+TEST(Args, NoCommand) {
+  const Args args({"--help"}, {"help"});
+  EXPECT_EQ(args.command(), "");
+  EXPECT_TRUE(args.has("help"));
+}
+
+TEST(Args, Defaults) {
+  const Args args({"model"}, {});
+  EXPECT_EQ(args.get("missing"), std::nullopt);
+  EXPECT_EQ(args.get_or("missing", "x"), "x");
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+}
+
+TEST(Args, IntParsing) {
+  const Args args({"generate", "--seed", "12345"}, {});
+  EXPECT_EQ(args.get_int("seed", 0), 12345);
+}
+
+TEST(Args, RejectsMissingValue) {
+  EXPECT_THROW(Args({"simulate", "--qb"}, {}), ParseError);
+}
+
+TEST(Args, RejectsDuplicateFlag) {
+  EXPECT_THROW(Args({"x", "--a", "1", "--a", "2"}, {}), ParseError);
+}
+
+TEST(Args, RejectsStrayPositional) {
+  EXPECT_THROW(Args({"simulate", "stray"}, {}), ParseError);
+}
+
+TEST(Args, RejectsNonNumeric) {
+  const Args args({"x", "--qb", "fast"}, {});
+  EXPECT_THROW(args.get_double("qb", 1.0), ParseError);
+  const Args args2({"x", "--n", "1.5"}, {});
+  EXPECT_THROW(args2.get_int("n", 0), ParseError);
+}
+
+TEST(Args, TracksUnusedFlags) {
+  const Args args({"x", "--used", "1", "--typo", "2"}, {});
+  EXPECT_TRUE(args.has("used"));
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Args, ParseFromArgcArgv) {
+  const char* argv[] = {"prog", "plan", "--target", "0.2"};
+  const Args args = Args::parse(4, argv);
+  EXPECT_EQ(args.command(), "plan");
+  EXPECT_DOUBLE_EQ(args.get_double("target", 0), 0.2);
+}
+
+}  // namespace
+}  // namespace cl

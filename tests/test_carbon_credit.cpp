@@ -1,0 +1,126 @@
+// Tests for model/carbon_credit.h — the carbon credit transfer scheme
+// (Eq. 13 and the per-user variant).
+#include "model/carbon_credit.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace cl {
+namespace {
+
+TEST(Cct, NonSharingUserIsMinusOne) {
+  for (const auto& p : standard_params()) {
+    EXPECT_DOUBLE_EQ(cct_from_offload(0.0, p), -1.0);
+  }
+}
+
+TEST(Cct, CeilingMatchesPaper) {
+  // Paper Section V: +18 % (Valancius), +58 % (Baliga) at G = 1.
+  EXPECT_NEAR(cct_ceiling(valancius_params()), 0.1837, 0.001);
+  EXPECT_NEAR(cct_ceiling(baliga_params()), 0.5774, 0.001);
+}
+
+TEST(Cct, MonotoneInOffload) {
+  const auto p = baliga_params();
+  double prev = -1.0;
+  for (double g : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    const double cct = cct_from_offload(g, p);
+    EXPECT_GT(cct, prev);
+    prev = cct;
+  }
+}
+
+TEST(Cct, NeutralOffloadIsExactZeroCrossing) {
+  for (const auto& p : standard_params()) {
+    const double g_star = carbon_neutral_offload(p);
+    EXPECT_NEAR(cct_from_offload(g_star, p), 0.0, 1e-12);
+    EXPECT_LT(cct_from_offload(g_star * 0.99, p), 0.0);
+    EXPECT_GT(cct_from_offload(std::min(1.0, g_star * 1.01), p), 0.0);
+  }
+}
+
+TEST(Cct, NeutralOffloadValues) {
+  // G* = lγm/(PUE·γs − lγm): 107/146.32 ≈ 0.731 (Valancius),
+  // 107/230.56 ≈ 0.464 (Baliga).
+  EXPECT_NEAR(carbon_neutral_offload(valancius_params()), 0.7313, 0.001);
+  EXPECT_NEAR(carbon_neutral_offload(baliga_params()), 0.4641, 0.001);
+}
+
+TEST(Cct, NeutralityUnreachableWithWeakServer) {
+  auto p = valancius_params();
+  p.gamma_server = EnergyPerBit{50.0};  // PUE·γs = 60 < lγm = 107
+  EXPECT_THROW(carbon_neutral_offload(p), InvalidArgument);
+}
+
+TEST(Cct, RejectsOutOfRangeOffload) {
+  EXPECT_THROW(cct_from_offload(-0.1, valancius_params()), InvalidArgument);
+  EXPECT_THROW(cct_from_offload(1.1, valancius_params()), InvalidArgument);
+}
+
+TEST(PerUserCct, PureDownloaderIsMinusOne) {
+  for (const auto& p : standard_params()) {
+    EXPECT_DOUBLE_EQ(per_user_cct(Bits{1e9}, Bits{0}, p), -1.0);
+  }
+}
+
+TEST(PerUserCct, NoTrafficIsNeutral) {
+  EXPECT_DOUBLE_EQ(per_user_cct(Bits{0}, Bits{0}, valancius_params()), 0.0);
+}
+
+TEST(PerUserCct, BalancedUploaderMatchesSystemEquation) {
+  // A user who uploads exactly G/(1) of what they download reproduces the
+  // system-level Eq. 13: U = G·D ⇒ CCT_u = cct_from_offload(G).
+  const auto p = baliga_params();
+  const double g = 0.6;
+  EXPECT_NEAR(per_user_cct(Bits{1e9}, Bits{g * 1e9}, p),
+              cct_from_offload(g, p), 1e-12);
+}
+
+TEST(PerUserCct, HeavyUploaderGoesPositive) {
+  const auto p = baliga_params();
+  EXPECT_GT(per_user_cct(Bits{1e9}, Bits{1e9}, p), 0.0);
+}
+
+TEST(PerUserCct, MonotoneInUpload) {
+  const auto p = valancius_params();
+  double prev = -1.0;
+  for (double u : {0.0, 0.3, 0.7, 1.0, 2.0}) {
+    const double cct = per_user_cct(Bits{1e9}, Bits{u * 1e9}, p);
+    EXPECT_GE(cct, prev);
+    prev = cct;
+  }
+}
+
+TEST(PerUserCct, RejectsNegativeVolumes) {
+  EXPECT_THROW(per_user_cct(Bits{-1}, Bits{0}, valancius_params()),
+               InvalidArgument);
+  EXPECT_THROW(per_user_cct(Bits{0}, Bits{-1}, valancius_params()),
+               InvalidArgument);
+}
+
+TEST(CreditEnergy, Formula) {
+  const auto p = valancius_params();
+  EXPECT_NEAR(credit_energy(Bits{1e9}, p).value(), 1.2 * 211.1 * 1e9, 1.0);
+}
+
+TEST(UserEnergy, Formula) {
+  const auto p = valancius_params();
+  EXPECT_NEAR(user_energy(Bits{1e9}, Bits{1e9}, p).value(),
+              1.07 * 100.0 * 2e9, 1.0);
+}
+
+TEST(Cct, ConsistencyBetweenAbsoluteAndNormalised) {
+  // (credit − spend)/spend must equal cct_from_offload when U = G·D.
+  const auto p = baliga_params();
+  const double g = 0.4;
+  const Bits d{1e9}, u{g * 1e9};
+  const double credit = credit_energy(u, p).value();
+  const double spend = user_energy(d, u, p).value();
+  EXPECT_NEAR((credit - spend) / spend, cct_from_offload(g, p), 1e-12);
+}
+
+}  // namespace
+}  // namespace cl

@@ -1,0 +1,102 @@
+// Tests for trace/catalogue.h and trace/bitrate.h.
+#include "trace/bitrate.h"
+#include "trace/catalogue.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace cl {
+namespace {
+
+TEST(Bitrate, ClassValues) {
+  EXPECT_DOUBLE_EQ(bitrate_of(BitrateClass::kMobile).mbps(), 0.8);
+  EXPECT_DOUBLE_EQ(bitrate_of(BitrateClass::kSd).mbps(), 1.5);
+  EXPECT_DOUBLE_EQ(bitrate_of(BitrateClass::kHd).mbps(), 3.0);
+  EXPECT_DOUBLE_EQ(bitrate_of(BitrateClass::kFullHd).mbps(), 5.0);
+}
+
+TEST(Bitrate, StringsRoundTrip) {
+  for (auto c : kAllBitrateClasses) {
+    EXPECT_EQ(bitrate_class_from_string(to_string(c)), c);
+  }
+}
+
+TEST(Bitrate, UnknownNameThrows) {
+  EXPECT_THROW(bitrate_class_from_string("8k"), ParseError);
+}
+
+TEST(Bitrate, AscendingOrder) {
+  for (std::size_t i = 1; i < kAllBitrateClasses.size(); ++i) {
+    EXPECT_LT(bitrate_of(kAllBitrateClasses[i - 1]).value(),
+              bitrate_of(kAllBitrateClasses[i]).value());
+  }
+}
+
+TEST(Catalogue, ExemplarsPinned) {
+  const Catalogue cat({100000, 10000, 1000}, 100, 50000, 0.9);
+  EXPECT_EQ(cat.exemplar_count(), 3u);
+  EXPECT_EQ(cat.size(), 103u);
+  EXPECT_DOUBLE_EQ(cat.item(0).expected_views_per_month, 100000.0);
+  EXPECT_DOUBLE_EQ(cat.item(1).expected_views_per_month, 10000.0);
+  EXPECT_DOUBLE_EQ(cat.item(2).expected_views_per_month, 1000.0);
+}
+
+TEST(Catalogue, TailSumsToTailViews) {
+  const Catalogue cat({1000}, 500, 80000, 1.0);
+  double tail = 0;
+  for (std::size_t id = 1; id < cat.size(); ++id) {
+    tail += cat.item(id).expected_views_per_month;
+  }
+  EXPECT_NEAR(tail, 80000.0, 1e-6);
+  EXPECT_NEAR(cat.total_views(), 81000.0, 1e-6);
+}
+
+TEST(Catalogue, TailIsZipfDecreasing) {
+  const Catalogue cat({}, 200, 10000, 0.9);
+  for (std::size_t id = 1; id < cat.size(); ++id) {
+    EXPECT_GE(cat.item(id - 1).expected_views_per_month,
+              cat.item(id).expected_views_per_month);
+  }
+}
+
+TEST(Catalogue, ZipfHeadTailRatio) {
+  const Catalogue cat({}, 1000, 10000, 1.0);
+  EXPECT_NEAR(cat.item(0).expected_views_per_month /
+                  cat.item(9).expected_views_per_month,
+              10.0, 1e-9);
+}
+
+TEST(Catalogue, SamplerFollowsPopularity) {
+  const Catalogue cat({5000}, 10, 5000, 0.0);  // exemplar = half the mass
+  Rng rng(3);
+  int exemplar_hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (cat.sample(rng) == 0) ++exemplar_hits;
+  }
+  EXPECT_NEAR(static_cast<double>(exemplar_hits) / n, 0.5, 0.01);
+}
+
+TEST(Catalogue, NominalLengthsRealistic) {
+  const Catalogue cat({}, 50, 1000, 0.9);
+  for (std::size_t id = 0; id < cat.size(); ++id) {
+    const double minutes = cat.item(id).nominal_length.minutes();
+    EXPECT_TRUE(minutes == 10.0 || minutes == 30.0 || minutes == 60.0);
+  }
+}
+
+TEST(Catalogue, RejectsInvalidConfig) {
+  EXPECT_THROW(Catalogue({}, 0, 1000, 0.9), InvalidArgument);
+  EXPECT_THROW(Catalogue({-5.0}, 10, 1000, 0.9), InvalidArgument);
+  EXPECT_THROW(Catalogue({}, 10, -1.0, 0.9), InvalidArgument);
+}
+
+TEST(Catalogue, ItemOutOfRangeThrows) {
+  const Catalogue cat({}, 10, 1000, 0.9);
+  EXPECT_THROW(cat.item(10), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cl

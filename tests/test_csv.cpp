@@ -1,0 +1,106 @@
+// Tests for util/csv.h — CSV writer/reader round-trips and error handling.
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace cl {
+namespace {
+
+TEST(CsvWriter, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter w(out, {"a", "b", "c"});
+  w.row(1, 2.5, "x");
+  EXPECT_EQ(out.str(), "a,b,c\n1,2.5,x\n");
+  EXPECT_EQ(w.rows_written(), 1u);
+}
+
+TEST(CsvWriter, DoubleRoundTripFormatting) {
+  std::ostringstream out;
+  CsvWriter w(out, {"v"});
+  w.row(0.1);
+  EXPECT_EQ(out.str(), "v\n0.1\n");
+}
+
+TEST(CsvWriter, WrongArityThrows) {
+  std::ostringstream out;
+  CsvWriter w(out, {"a", "b"});
+  EXPECT_THROW(w.row(1), InvalidArgument);
+  EXPECT_THROW(w.row(1, 2, 3), InvalidArgument);
+}
+
+TEST(SplitCsvLine, Simple) {
+  const auto fields = split_csv_line("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitCsvLine, EmptyFields) {
+  const auto fields = split_csv_line(",x,");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "");
+  EXPECT_EQ(fields[2], "");
+}
+
+TEST(SplitCsvLine, QuotedCommaAndEscapedQuote) {
+  const auto fields = split_csv_line(R"("a,b","say ""hi""")");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "a,b");
+  EXPECT_EQ(fields[1], "say \"hi\"");
+}
+
+TEST(SplitCsvLine, StripsCarriageReturn) {
+  const auto fields = split_csv_line("a,b\r");
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(SplitCsvLine, UnterminatedQuoteThrows) {
+  EXPECT_THROW(split_csv_line("\"abc"), ParseError);
+}
+
+TEST(ReadCsv, Document) {
+  std::istringstream in("x,y\n1,2\n3,4\n");
+  const CsvDocument doc = read_csv(in);
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.column("y"), 1u);
+  EXPECT_EQ(doc.rows[1][doc.column("x")], "3");
+}
+
+TEST(ReadCsv, SkipsBlankLines) {
+  std::istringstream in("x\n1\n\n2\n");
+  EXPECT_EQ(read_csv(in).rows.size(), 2u);
+}
+
+TEST(ReadCsv, RaggedRowThrows) {
+  std::istringstream in("x,y\n1\n");
+  EXPECT_THROW(read_csv(in), ParseError);
+}
+
+TEST(ReadCsv, EmptyDocumentThrows) {
+  std::istringstream in("");
+  EXPECT_THROW(read_csv(in), ParseError);
+}
+
+TEST(ReadCsv, MissingColumnThrows) {
+  std::istringstream in("x\n1\n");
+  const CsvDocument doc = read_csv(in);
+  EXPECT_THROW(doc.column("nope"), ParseError);
+}
+
+TEST(CsvRoundTrip, WriterToReader) {
+  std::ostringstream out;
+  CsvWriter w(out, {"id", "value"});
+  for (int i = 0; i < 10; ++i) w.row(i, i * 1.5);
+  std::istringstream in(out.str());
+  const CsvDocument doc = read_csv(in);
+  ASSERT_EQ(doc.rows.size(), 10u);
+  EXPECT_EQ(doc.rows[3][0], "3");
+  EXPECT_EQ(doc.rows[3][1], "4.5");
+}
+
+}  // namespace
+}  // namespace cl

@@ -1,0 +1,223 @@
+// Tests for the energy substrate: Table IV parameters, the per-bit cost
+// functions of Eqs. 4–6, and the traffic-to-energy accountant.
+#include "energy/accounting.h"
+#include "energy/cost_functions.h"
+#include "energy/energy_params.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace cl {
+namespace {
+
+TEST(EnergyParams, ValanciusMatchesTableIV) {
+  const auto p = valancius_params();
+  EXPECT_DOUBLE_EQ(p.gamma_server.value(), 211.1);
+  EXPECT_DOUBLE_EQ(p.gamma_modem.value(), 100.0);
+  EXPECT_DOUBLE_EQ(p.gamma_cdn.value(), 1050.0);
+  EXPECT_DOUBLE_EQ(p.gamma_p2p_at(LocalityLevel::kExchangePoint).value(),
+                   300.0);
+  EXPECT_DOUBLE_EQ(p.gamma_p2p_at(LocalityLevel::kPop).value(), 600.0);
+  EXPECT_DOUBLE_EQ(p.gamma_p2p_at(LocalityLevel::kCore).value(), 900.0);
+  EXPECT_DOUBLE_EQ(p.pue, 1.2);
+  EXPECT_DOUBLE_EQ(p.loss, 1.07);
+}
+
+TEST(EnergyParams, BaligaMatchesTableIV) {
+  const auto p = baliga_params();
+  EXPECT_DOUBLE_EQ(p.gamma_server.value(), 281.3);
+  EXPECT_DOUBLE_EQ(p.gamma_modem.value(), 100.0);
+  EXPECT_DOUBLE_EQ(p.gamma_cdn.value(), 142.5);
+  EXPECT_DOUBLE_EQ(p.gamma_p2p_at(LocalityLevel::kExchangePoint).value(),
+                   144.86);
+  EXPECT_DOUBLE_EQ(p.gamma_p2p_at(LocalityLevel::kPop).value(), 197.48);
+  EXPECT_DOUBLE_EQ(p.gamma_p2p_at(LocalityLevel::kCore).value(), 245.74);
+}
+
+TEST(EnergyParams, StandardParamsAreValanciusThenBaliga) {
+  const auto both = standard_params();
+  ASSERT_EQ(both.size(), 2u);
+  EXPECT_EQ(both[0].name, "Valancius");
+  EXPECT_EQ(both[1].name, "Baliga");
+}
+
+TEST(EnergyParams, HopCountBuilder) {
+  const auto p =
+      hop_count_params("custom", EnergyPerBit{150.0}, 7, 2, 4, 6);
+  EXPECT_DOUBLE_EQ(p.gamma_cdn.value(), 1050.0);
+  EXPECT_DOUBLE_EQ(p.gamma_p2p_at(LocalityLevel::kExchangePoint).value(),
+                   300.0);
+  EXPECT_DOUBLE_EQ(p.gamma_p2p_at(LocalityLevel::kCore).value(), 900.0);
+  EXPECT_EQ(p.name, "custom");
+}
+
+TEST(EnergyParams, ValidateRejectsNonMonotoneLocality) {
+  auto p = valancius_params();
+  p.gamma_p2p[index(LocalityLevel::kExchangePoint)] = EnergyPerBit{1000.0};
+  EXPECT_THROW(p.validate(), InvalidArgument);
+}
+
+TEST(EnergyParams, ValidateRejectsNonPositive) {
+  auto p = valancius_params();
+  p.gamma_server = EnergyPerBit{0.0};
+  EXPECT_THROW(p.validate(), InvalidArgument);
+}
+
+TEST(EnergyParams, ValidateRejectsSubUnityPue) {
+  auto p = valancius_params();
+  p.pue = 0.9;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+}
+
+TEST(CostFunctions, PsiServerValancius) {
+  // ψs = PUE(γs + γcdn) + l·γm = 1.2·1261.1 + 107 = 1620.32 nJ/bit.
+  const CostFunctions costs(valancius_params());
+  EXPECT_NEAR(costs.psi_server().value(), 1620.32, 1e-9);
+}
+
+TEST(CostFunctions, PsiServerBaliga) {
+  // ψs = 1.2·(281.3 + 142.5) + 107 = 615.56 nJ/bit.
+  const CostFunctions costs(baliga_params());
+  EXPECT_NEAR(costs.psi_server().value(), 615.56, 1e-9);
+}
+
+TEST(CostFunctions, PeerModemIsDoubleLoss) {
+  // ψpᵐ = 2·l·γm = 214 nJ/bit for both parameter sets.
+  for (const auto& p : standard_params()) {
+    const CostFunctions costs(p);
+    EXPECT_NEAR(costs.psi_peer_modem().value(), 214.0, 1e-9);
+  }
+}
+
+TEST(CostFunctions, PsiPeerComposition) {
+  const CostFunctions costs(valancius_params());
+  for (auto level : kAllLocalityLevels) {
+    EXPECT_DOUBLE_EQ(costs.psi_peer(level).value(),
+                     costs.psi_peer_modem().value() +
+                         costs.psi_peer_network(level).value());
+  }
+  EXPECT_NEAR(costs.psi_peer_network(LocalityLevel::kPop).value(),
+              1.2 * 600.0, 1e-9);
+}
+
+TEST(CostFunctions, PeerAlwaysWinsAtEveryLevelForPaperParams) {
+  // The paper's core observation: even core-localised P2P beats the CDN
+  // path under both parameter sets.
+  for (const auto& p : standard_params()) {
+    const CostFunctions costs(p);
+    for (auto level : kAllLocalityLevels) {
+      EXPECT_TRUE(costs.peer_wins(level)) << p.name << " " << to_string(level);
+    }
+  }
+}
+
+TEST(CostFunctions, PeerCanLoseWithCheapCdnPath) {
+  // A hop-count model where the CDN path is shorter than the P2P core path
+  // makes core-level P2P lose.
+  auto p = hop_count_params("cheap-cdn", EnergyPerBit{150.0}, 2, 2, 4, 6);
+  const CostFunctions costs(p);
+  EXPECT_FALSE(costs.peer_wins(LocalityLevel::kCore));
+  EXPECT_TRUE(costs.peer_wins(LocalityLevel::kExchangePoint));
+}
+
+TEST(CostFunctions, EnergyScalesWithVolume) {
+  const CostFunctions costs(baliga_params());
+  const Energy one = costs.server_energy(Bits{1e6});
+  const Energy ten = costs.server_energy(Bits{1e7});
+  EXPECT_NEAR(ten.value(), 10.0 * one.value(), 1e-3);
+}
+
+TEST(TrafficBreakdown, TotalsAndOffload) {
+  TrafficBreakdown t;
+  t.server = Bits{600};
+  t.peer[index(LocalityLevel::kExchangePoint)] = Bits{300};
+  t.peer[index(LocalityLevel::kCore)] = Bits{100};
+  EXPECT_DOUBLE_EQ(t.peer_total().value(), 400.0);
+  EXPECT_DOUBLE_EQ(t.total().value(), 1000.0);
+  EXPECT_DOUBLE_EQ(t.offload_fraction(), 0.4);
+}
+
+TEST(TrafficBreakdown, CrossIspCountsAsPeer) {
+  TrafficBreakdown t;
+  t.server = Bits{500};
+  t.cross_isp = Bits{500};
+  EXPECT_DOUBLE_EQ(t.offload_fraction(), 0.5);
+}
+
+TEST(TrafficBreakdown, EmptyOffloadIsZero) {
+  EXPECT_DOUBLE_EQ(TrafficBreakdown{}.offload_fraction(), 0.0);
+}
+
+TEST(TrafficBreakdown, Addition) {
+  TrafficBreakdown a, b;
+  a.server = Bits{1};
+  a.peer[0] = Bits{2};
+  b.server = Bits{10};
+  b.peer[0] = Bits{20};
+  b.cross_isp = Bits{5};
+  const TrafficBreakdown sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.server.value(), 11.0);
+  EXPECT_DOUBLE_EQ(sum.peer[0].value(), 22.0);
+  EXPECT_DOUBLE_EQ(sum.cross_isp.value(), 5.0);
+}
+
+TEST(EnergyAccountant, BaselineMatchesPsiServer) {
+  const EnergyAccountant acc{CostFunctions(valancius_params())};
+  const Bits volume{1e9};
+  EXPECT_NEAR(acc.baseline(volume).total().value(), 1620.32 * 1e9, 1.0);
+}
+
+TEST(EnergyAccountant, HybridWithNoPeersEqualsBaseline) {
+  const EnergyAccountant acc{CostFunctions(baliga_params())};
+  TrafficBreakdown t;
+  t.server = Bits{1e9};
+  EXPECT_NEAR(acc.hybrid(t).total().value(),
+              acc.baseline(Bits{1e9}).total().value(), 1.0);
+  EXPECT_NEAR(acc.savings(t), 0.0, 1e-12);
+}
+
+TEST(EnergyAccountant, FullExpOffloadSavingsMatchHandComputation) {
+  // All traffic peer-delivered within exchange points:
+  // E = (2lγm + PUE·γexp)·T vs baseline ψs·T.
+  const auto p = valancius_params();
+  const EnergyAccountant acc{CostFunctions(p)};
+  TrafficBreakdown t;
+  t.peer[index(LocalityLevel::kExchangePoint)] = Bits{1e9};
+  const double hybrid = 214.0 + 1.2 * 300.0;  // 574
+  EXPECT_NEAR(acc.savings(t), 1.0 - hybrid / 1620.32, 1e-9);
+}
+
+TEST(EnergyAccountant, ModemCountsUploadAndDownload) {
+  const auto p = baliga_params();
+  const EnergyAccountant acc{CostFunctions(p)};
+  TrafficBreakdown t;
+  t.peer[index(LocalityLevel::kPop)] = Bits{1e6};
+  // user_modem = lγm·(download 1e6 + upload 1e6) = 107·2e6.
+  EXPECT_NEAR(acc.hybrid(t).user_modem.value(), 107.0 * 2e6, 1e-3);
+}
+
+TEST(EnergyAccountant, SavingsOfEmptyTrafficIsZero) {
+  const EnergyAccountant acc{CostFunctions(baliga_params())};
+  EXPECT_DOUBLE_EQ(acc.savings(TrafficBreakdown{}), 0.0);
+}
+
+TEST(EnergyAccountant, CrossIspPricedAtGammaCross) {
+  auto p = valancius_params();
+  const EnergyAccountant acc{CostFunctions(p)};
+  TrafficBreakdown t;
+  t.cross_isp = Bits{1e6};
+  EXPECT_NEAR(acc.hybrid(t).peer_network.value(),
+              p.pue * p.gamma_cross_isp.value() * 1e6, 1e-3);
+}
+
+TEST(EnergyBreakdown, TotalIsSumOfParts) {
+  EnergyBreakdown e;
+  e.server_side = Energy{1};
+  e.peer_network = Energy{2};
+  e.user_modem = Energy{3};
+  EXPECT_DOUBLE_EQ(e.total().value(), 6.0);
+}
+
+}  // namespace
+}  // namespace cl

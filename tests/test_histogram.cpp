@@ -1,0 +1,112 @@
+// Tests for util/histogram.h — empirical CDFs/CCDFs and binning.
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include "util/error.h"
+
+namespace cl {
+namespace {
+
+TEST(EmpiricalCdf, EmptyInput) { EXPECT_TRUE(empirical_cdf({}).empty()); }
+
+TEST(EmpiricalCdf, MonotoneAndEndsAtOne) {
+  const auto cdf = empirical_cdf({3.0, 1.0, 2.0, 2.0, 5.0});
+  ASSERT_FALSE(cdf.empty());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GT(cdf[i].x, cdf[i - 1].x);
+    EXPECT_GT(cdf[i].y, cdf[i - 1].y);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().y, 1.0);
+}
+
+TEST(EmpiricalCdf, CollapsesDuplicates) {
+  const auto cdf = empirical_cdf({1.0, 1.0, 1.0, 2.0});
+  ASSERT_EQ(cdf.size(), 2u);
+  EXPECT_DOUBLE_EQ(cdf[0].x, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[0].y, 0.75);
+  EXPECT_DOUBLE_EQ(cdf[1].y, 1.0);
+}
+
+TEST(EmpiricalCcdf, ComplementOfCdf) {
+  const auto ccdf = empirical_ccdf({1.0, 2.0, 3.0, 4.0});
+  ASSERT_EQ(ccdf.size(), 4u);
+  EXPECT_DOUBLE_EQ(ccdf[0].y, 0.75);
+  EXPECT_DOUBLE_EQ(ccdf[3].y, 0.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.9);    // bin 4
+  h.add(-3.0);   // clamped to bin 0
+  h.add(100.0);  // clamped to bin 4
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, EdgesAndCenters) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.edge(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.edge(5), 10.0);
+  EXPECT_DOUBLE_EQ(h.center(2), 5.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 5), InvalidArgument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+}
+
+TEST(LogHistogram, DecadeBinning) {
+  LogHistogram h(0.001, 1000.0, 6);  // one bin per decade
+  h.add(0.005);  // [1e-3, 1e-2) -> bin 0
+  h.add(0.5);    // [1e-1, 1)    -> bin 2
+  h.add(500.0);  // [1e2, 1e3)   -> bin 5
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+}
+
+TEST(LogHistogram, UnderflowBucket) {
+  LogHistogram h(0.1, 10.0, 4);
+  h.add(0.0);
+  h.add(-1.0);
+  h.add(1.0);
+  EXPECT_EQ(h.underflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(LogHistogram, GeometricCenters) {
+  LogHistogram h(1.0, 100.0, 2);
+  EXPECT_NEAR(h.center(0), std::pow(10.0, 0.5), 1e-9);
+  EXPECT_NEAR(h.edge(1), 10.0, 1e-9);
+}
+
+TEST(LogHistogram, RejectsNonPositiveLo) {
+  EXPECT_THROW(LogHistogram(0.0, 10.0, 4), InvalidArgument);
+}
+
+TEST(Thin, KeepsEndpoints) {
+  std::vector<DistPoint> pts;
+  for (int i = 0; i < 100; ++i) {
+    pts.push_back({static_cast<double>(i), static_cast<double>(i) / 99.0});
+  }
+  const auto thinned = thin(pts, 10);
+  ASSERT_EQ(thinned.size(), 10u);
+  EXPECT_DOUBLE_EQ(thinned.front().x, 0.0);
+  EXPECT_DOUBLE_EQ(thinned.back().x, 99.0);
+}
+
+TEST(Thin, ShortInputUnchanged) {
+  const std::vector<DistPoint> pts{{1, 0.5}, {2, 1.0}};
+  EXPECT_EQ(thin(pts, 10).size(), 2u);
+}
+
+TEST(Thin, RejectsTinyBudget) {
+  EXPECT_THROW(thin({}, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cl

@@ -1,0 +1,188 @@
+// Tests for model/localisation.h — the locality expectation (Eqs. 7–11).
+//
+// The key property: the direct derivation, the paper's grouped Eq. 10 form
+// and a brute-force Poisson series must all agree (DESIGN.md §2 documents
+// that Eq. 11 as printed is OCR-garbled and was re-derived).
+#include "model/localisation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/swarm_model.h"
+#include "topology/isp_topology.h"
+#include "util/error.h"
+
+namespace cl {
+namespace {
+
+LocalisationProbabilities london() {
+  return IspTopology::london_default().localisation();
+}
+
+TEST(LocalityHelperF, AtPEqualsOneIsExpectedExcess) {
+  for (double c : {0.1, 1.0, 10.0}) {
+    EXPECT_NEAR(locality_helper_f(1.0, c), expected_excess(c), 1e-12);
+  }
+}
+
+TEST(LocalityHelperF, BelowOneIsNonlocalMinusExcess) {
+  for (double c : {0.5, 5.0}) {
+    for (double p : {0.01, 0.2}) {
+      EXPECT_NEAR(locality_helper_f(p, c),
+                  expected_excess_nonlocal(p, c) - expected_excess(c), 1e-12);
+    }
+  }
+}
+
+TEST(LocalityHelperF, RejectsOutOfDomain) {
+  EXPECT_THROW(locality_helper_f(-0.1, 1.0), InvalidArgument);
+  EXPECT_THROW(locality_helper_f(0.5, -1.0), InvalidArgument);
+}
+
+TEST(FindLocalPeerProbability, Formula) {
+  EXPECT_DOUBLE_EQ(find_local_peer_probability(0.5, 1), 0.0);
+  EXPECT_DOUBLE_EQ(find_local_peer_probability(0.5, 2), 0.5);
+  EXPECT_NEAR(find_local_peer_probability(0.5, 3), 0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(find_local_peer_probability(1.0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(find_local_peer_probability(0.0, 100), 0.0);
+}
+
+TEST(FindLocalPeerProbability, IncreasesWithSwarmSize) {
+  double prev = 0;
+  for (unsigned l = 2; l < 200; l += 10) {
+    const double cur = find_local_peer_probability(0.0029, l);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(GammaP2p, SmallSwarmIsCore) {
+  const auto p = valancius_params();
+  EXPECT_DOUBLE_EQ(gamma_p2p(p, london(), 0).value(), 900.0);
+  EXPECT_DOUBLE_EQ(gamma_p2p(p, london(), 1).value(), 900.0);
+}
+
+TEST(GammaP2p, TwoPeersMostlyCore) {
+  // With L = 2 in the London tree, the other peer is under the same ExP
+  // w.p. 0.29 %, same PoP w.p. 11.1 % — γp2p is close to γcore.
+  const auto p = valancius_params();
+  const double g = gamma_p2p(p, london(), 2).value();
+  EXPECT_GT(g, 850.0);
+  EXPECT_LT(g, 900.0);
+}
+
+TEST(GammaP2p, LargeSwarmApproachesGammaExp) {
+  const auto p = valancius_params();
+  const double g = gamma_p2p(p, london(), 10000).value();
+  EXPECT_NEAR(g, 300.0, 1.0);
+}
+
+TEST(GammaP2p, DecreasesWithSwarmSize) {
+  const auto p = baliga_params();
+  double prev = gamma_p2p(p, london(), 2).value();
+  for (unsigned l : {4u, 8u, 16u, 64u, 256u, 1024u, 8192u}) {
+    const double cur = gamma_p2p(p, london(), l).value();
+    EXPECT_LE(cur, prev + 1e-12) << "L=" << l;
+    prev = cur;
+  }
+}
+
+TEST(GammaP2p, BoundedByExtremeLevels) {
+  const auto p = baliga_params();
+  for (unsigned l = 2; l < 100; ++l) {
+    const double g = gamma_p2p(p, london(), l).value();
+    EXPECT_GE(g, p.gamma_p2p_at(LocalityLevel::kExchangePoint).value());
+    EXPECT_LE(g, p.gamma_p2p_at(LocalityLevel::kCore).value());
+  }
+}
+
+TEST(ExpectedWeightedGamma, LargeCapacityAsymptote) {
+  // W(c)/A(c) -> γexp as c -> ∞.
+  const auto p = valancius_params();
+  const double c = 1e5;
+  EXPECT_NEAR(expected_weighted_gamma(p, london(), c) / expected_excess(c),
+              300.0, 1.0);
+}
+
+TEST(ExpectedWeightedGamma, SmallCapacityLimitIsTwoPeerGamma) {
+  // For c -> 0 the conditional swarm is almost surely L = 2, so the mean
+  // per-bit γ over peer traffic tends to γp2p(2) — NOT γcore: even a
+  // two-user swarm localises at the PoP with probability 1/9.
+  const auto p = valancius_params();
+  const double c = 1e-3;
+  EXPECT_NEAR(expected_weighted_gamma(p, london(), c) / expected_excess(c),
+              gamma_p2p(p, london(), 2).value(), 0.5);
+}
+
+TEST(ExpectedLocalityShares, SumToOne) {
+  for (double c : {0.01, 0.5, 2.0, 50.0, 5000.0}) {
+    const auto shares = expected_locality_shares(london(), c);
+    EXPECT_NEAR(shares[0] + shares[1] + shares[2], 1.0, 1e-9) << "c=" << c;
+  }
+}
+
+TEST(ExpectedLocalityShares, ZeroCapacityAllZero) {
+  const auto shares = expected_locality_shares(london(), 0.0);
+  EXPECT_DOUBLE_EQ(shares[0] + shares[1] + shares[2], 0.0);
+}
+
+TEST(ExpectedLocalityShares, ExpShareGrowsWithCapacity) {
+  double prev = 0;
+  for (double c : {1.0, 10.0, 100.0, 1000.0, 10000.0}) {
+    const auto shares = expected_locality_shares(london(), c);
+    EXPECT_GE(shares[index(LocalityLevel::kExchangePoint)], prev);
+    prev = shares[index(LocalityLevel::kExchangePoint)];
+  }
+  EXPECT_GT(prev, 0.9);  // almost everything ExP-local at c = 10^4
+}
+
+TEST(ExpectedLocalityShares, CoreDominatesSmallSwarms) {
+  const auto shares = expected_locality_shares(london(), 0.1);
+  EXPECT_GT(shares[index(LocalityLevel::kCore)], 0.8);
+}
+
+// The central equivalence: direct == grouped (paper Eq. 10) == Poisson
+// series, across both parameter sets and a capacity grid.
+struct EquivalenceCase {
+  double capacity;
+};
+
+class WeightedGammaEquivalence
+    : public ::testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(WeightedGammaEquivalence, DirectEqualsGrouped) {
+  for (const auto& p : standard_params()) {
+    const double direct =
+        expected_weighted_gamma(p, london(), GetParam().capacity);
+    const double grouped =
+        expected_weighted_gamma_grouped(p, london(), GetParam().capacity);
+    EXPECT_NEAR(grouped / (direct + 1e-300), 1.0, 1e-9) << p.name;
+  }
+}
+
+TEST_P(WeightedGammaEquivalence, DirectEqualsSeries) {
+  for (const auto& p : standard_params()) {
+    const double direct =
+        expected_weighted_gamma(p, london(), GetParam().capacity);
+    const double series = expected_weighted_gamma_series(
+        p, london(), GetParam().capacity, 8192);
+    if (direct < 1e-12) {
+      EXPECT_NEAR(series, direct, 1e-12);
+    } else {
+      EXPECT_NEAR(series / direct, 1.0, 1e-6) << p.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CapacityGrid, WeightedGammaEquivalence,
+    ::testing::Values(EquivalenceCase{1e-3}, EquivalenceCase{0.01},
+                      EquivalenceCase{0.1}, EquivalenceCase{0.5},
+                      EquivalenceCase{1.0}, EquivalenceCase{2.0},
+                      EquivalenceCase{5.0}, EquivalenceCase{10.0},
+                      EquivalenceCase{25.0}, EquivalenceCase{100.0},
+                      EquivalenceCase{500.0}, EquivalenceCase{2000.0}));
+
+}  // namespace
+}  // namespace cl

@@ -1,0 +1,304 @@
+// Tests for sim/matcher.h — the per-window matching policies.
+#include "sim/matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace cl {
+namespace {
+
+constexpr double kBeta = 1.5e6;  // 1.5 Mbps
+constexpr double kDt = 10.0;
+
+ActivePeer peer(std::uint32_t session, std::uint32_t isp, std::uint32_t exp,
+                std::uint32_t pop, double beta = kBeta,
+                std::uint64_t join_window = 0) {
+  ActivePeer a;
+  a.session = session;
+  a.user = session;
+  a.isp = isp;
+  a.exp = exp;
+  a.pop = pop;
+  a.beta = beta;
+  a.join_window = join_window;
+  return a;
+}
+
+SimConfig config(double ratio = 1.0, bool isp_friendly = true) {
+  SimConfig c;
+  c.window = Seconds{kDt};
+  c.q_over_beta = ratio;
+  c.isp_friendly = isp_friendly;
+  return c;
+}
+
+double total_peer_bits(const PeerAllocation& a) {
+  double sum = a.cross_isp_bits;
+  for (double b : a.peer_bits) sum += b;
+  return sum;
+}
+
+void check_conservation(const std::vector<ActivePeer>& actives,
+                        const std::vector<PeerAllocation>& out) {
+  // Every active downloads exactly β·Δτ, split between server and peers;
+  // total uploads equal total peer-delivered bits.
+  double uploads = 0, peer_bits = 0;
+  for (std::size_t i = 0; i < actives.size(); ++i) {
+    EXPECT_NEAR(out[i].downloaded_bits(), actives[i].beta * kDt, 1e-6);
+    uploads += out[i].upload_bits;
+    peer_bits += total_peer_bits(out[i]);
+  }
+  EXPECT_NEAR(uploads, peer_bits, 1e-6);
+}
+
+TEST(ExistenceMatcher, SinglePeerAllServer) {
+  const ExistenceMatcher matcher;
+  std::vector<ActivePeer> actives{peer(0, 0, 5, 1)};
+  std::vector<PeerAllocation> out;
+  matcher.allocate(actives, 0, config(), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out[0].server_bits, kBeta * kDt, 1e-9);
+  EXPECT_DOUBLE_EQ(total_peer_bits(out[0]), 0.0);
+  EXPECT_DOUBLE_EQ(out[0].upload_bits, 0.0);
+}
+
+TEST(ExistenceMatcher, EmptyActivesOk) {
+  const ExistenceMatcher matcher;
+  std::vector<PeerAllocation> out;
+  matcher.allocate(std::vector<ActivePeer>{}, 0, config(), out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ExistenceMatcher, TwoPeersSameExpLocaliseAtExp) {
+  const ExistenceMatcher matcher;
+  std::vector<ActivePeer> actives{peer(0, 0, 5, 1), peer(1, 0, 5, 1)};
+  std::vector<PeerAllocation> out;
+  matcher.allocate(actives, 0, config(), out);
+  // Seed (0) pulls all from server; peer 1 pulls everything from the ExP.
+  EXPECT_NEAR(out[0].server_bits, kBeta * kDt, 1e-9);
+  EXPECT_NEAR(out[1].peer_bits[index(LocalityLevel::kExchangePoint)],
+              kBeta * kDt, 1e-9);
+  EXPECT_NEAR(out[1].server_bits, 0.0, 1e-9);
+  check_conservation(actives, out);
+}
+
+TEST(ExistenceMatcher, SamePopDifferentExpLocalisesAtPop) {
+  const ExistenceMatcher matcher;
+  std::vector<ActivePeer> actives{peer(0, 0, 5, 1), peer(1, 0, 6, 1)};
+  std::vector<PeerAllocation> out;
+  matcher.allocate(actives, 0, config(), out);
+  EXPECT_NEAR(out[1].peer_bits[index(LocalityLevel::kPop)], kBeta * kDt,
+              1e-9);
+  check_conservation(actives, out);
+}
+
+TEST(ExistenceMatcher, DifferentPopLocalisesAtCore) {
+  const ExistenceMatcher matcher;
+  std::vector<ActivePeer> actives{peer(0, 0, 5, 1), peer(1, 0, 6, 2)};
+  std::vector<PeerAllocation> out;
+  matcher.allocate(actives, 0, config(), out);
+  EXPECT_NEAR(out[1].peer_bits[index(LocalityLevel::kCore)], kBeta * kDt,
+              1e-9);
+  check_conservation(actives, out);
+}
+
+TEST(ExistenceMatcher, DifferentIspGoesCross) {
+  const ExistenceMatcher matcher;
+  std::vector<ActivePeer> actives{peer(0, 0, 5, 1), peer(1, 1, 5, 1)};
+  std::vector<PeerAllocation> out;
+  matcher.allocate(actives, 0, config(1.0, /*isp_friendly=*/false), out);
+  EXPECT_NEAR(out[1].cross_isp_bits, kBeta * kDt, 1e-9);
+  check_conservation(actives, out);
+}
+
+TEST(ExistenceMatcher, PrefersLowestLevelWithPeers) {
+  const ExistenceMatcher matcher;
+  // Peer 2 has an ExP-mate (1) and a PoP-mate (3): must localise at ExP.
+  std::vector<ActivePeer> actives{peer(0, 0, 1, 0), peer(1, 0, 5, 1),
+                                  peer(2, 0, 5, 1), peer(3, 0, 6, 1)};
+  std::vector<PeerAllocation> out;
+  matcher.allocate(actives, 0, config(), out);
+  EXPECT_GT(out[2].peer_bits[index(LocalityLevel::kExchangePoint)], 0.0);
+  EXPECT_DOUBLE_EQ(out[2].peer_bits[index(LocalityLevel::kPop)], 0.0);
+  // Peer 3's nearest company is PoP-level (exps 5 ≠ 6).
+  EXPECT_GT(out[3].peer_bits[index(LocalityLevel::kPop)], 0.0);
+  check_conservation(actives, out);
+}
+
+TEST(ExistenceMatcher, UploadRatioScalesPeerShare) {
+  const ExistenceMatcher matcher;
+  std::vector<ActivePeer> actives{peer(0, 0, 5, 1), peer(1, 0, 5, 1)};
+  std::vector<PeerAllocation> out;
+  matcher.allocate(actives, 0, config(0.4), out);
+  EXPECT_NEAR(out[1].peer_bits[index(LocalityLevel::kExchangePoint)],
+              0.4 * kBeta * kDt, 1e-9);
+  EXPECT_NEAR(out[1].server_bits, 0.6 * kBeta * kDt, 1e-9);
+}
+
+TEST(ExistenceMatcher, UploadRatioAboveOneClamped) {
+  const ExistenceMatcher matcher;
+  std::vector<ActivePeer> actives{peer(0, 0, 5, 1), peer(1, 0, 5, 1)};
+  std::vector<PeerAllocation> out;
+  matcher.allocate(actives, 0, config(2.5), out);
+  EXPECT_NEAR(out[1].peer_bits[index(LocalityLevel::kExchangePoint)],
+              kBeta * kDt, 1e-9);
+  EXPECT_NEAR(out[1].server_bits, 0.0, 1e-9);
+}
+
+TEST(ExistenceMatcher, SeedIndexHonoured) {
+  const ExistenceMatcher matcher;
+  std::vector<ActivePeer> actives{peer(0, 0, 5, 1), peer(1, 0, 5, 1)};
+  std::vector<PeerAllocation> out;
+  matcher.allocate(actives, 1, config(), out);
+  EXPECT_NEAR(out[1].server_bits, kBeta * kDt, 1e-9);
+  EXPECT_GT(total_peer_bits(out[0]), 0.0);
+}
+
+TEST(ExistenceMatcher, MatchesPaperPerWindowFormula) {
+  // L peers, same bitrate: ΔTp must equal (L−1)·q·Δτ (paper Eq. 2).
+  const ExistenceMatcher matcher;
+  for (std::size_t l : {2u, 5u, 20u}) {
+    std::vector<ActivePeer> actives;
+    for (std::size_t i = 0; i < l; ++i) {
+      actives.push_back(
+          peer(static_cast<std::uint32_t>(i), 0, static_cast<std::uint32_t>(i),
+               static_cast<std::uint32_t>(i % 3)));
+    }
+    std::vector<PeerAllocation> out;
+    const double ratio = 0.6;
+    matcher.allocate(actives, 0, config(ratio), out);
+    double peer_bits = 0;
+    for (const auto& a : out) peer_bits += total_peer_bits(a);
+    EXPECT_NEAR(peer_bits, static_cast<double>(l - 1) * ratio * kBeta * kDt,
+                1e-6);
+  }
+}
+
+TEST(ExistenceMatcher, MixedBitratesUseOwnBeta) {
+  const ExistenceMatcher matcher;
+  std::vector<ActivePeer> actives{peer(0, 0, 5, 1, 1.5e6),
+                                  peer(1, 0, 5, 1, 5.0e6)};
+  std::vector<PeerAllocation> out;
+  matcher.allocate(actives, 0, config(0.5), out);
+  EXPECT_NEAR(out[1].downloaded_bits(), 5.0e6 * kDt, 1e-6);
+  EXPECT_NEAR(total_peer_bits(out[1]), 0.5 * 5.0e6 * kDt, 1e-6);
+}
+
+TEST(ExistenceMatcher, InvalidSeedThrows) {
+  const ExistenceMatcher matcher;
+  std::vector<ActivePeer> actives{peer(0, 0, 5, 1)};
+  std::vector<PeerAllocation> out;
+  EXPECT_THROW(matcher.allocate(actives, 3, config(), out), InvalidArgument);
+}
+
+TEST(CapacityMatcher, SinglePeerAllServer) {
+  const CapacityMatcher matcher;
+  std::vector<ActivePeer> actives{peer(0, 0, 5, 1)};
+  std::vector<PeerAllocation> out;
+  matcher.allocate(actives, 0, config(), out);
+  EXPECT_NEAR(out[0].server_bits, kBeta * kDt, 1e-9);
+}
+
+TEST(CapacityMatcher, FullBudgetServesWholeStream) {
+  const CapacityMatcher matcher;
+  std::vector<ActivePeer> actives{peer(0, 0, 5, 1), peer(1, 0, 5, 1)};
+  std::vector<PeerAllocation> out;
+  matcher.allocate(actives, 0, config(1.0), out);
+  EXPECT_NEAR(out[1].peer_bits[index(LocalityLevel::kExchangePoint)],
+              kBeta * kDt, 1e-9);
+  EXPECT_NEAR(out[0].upload_bits, kBeta * kDt, 1e-9);
+  check_conservation(actives, out);
+}
+
+TEST(CapacityMatcher, BudgetsAreEnforced) {
+  // Three downloaders sharing one uploader with q = 1·β can only pull β·Δτ
+  // in total from it; the rest must come from the server.
+  const CapacityMatcher matcher;
+  std::vector<ActivePeer> actives{peer(0, 0, 5, 1), peer(1, 0, 5, 1),
+                                  peer(2, 0, 5, 1), peer(3, 0, 5, 1)};
+  std::vector<PeerAllocation> out;
+  matcher.allocate(actives, 0, config(1.0), out);
+  // Total upload capacity 4β·Δτ; demand from 3 non-seed downloaders 3β·Δτ:
+  // all of it can be served (uploaders include the downloaders themselves).
+  double peer_bits = 0;
+  for (const auto& a : out) peer_bits += total_peer_bits(a);
+  EXPECT_NEAR(peer_bits, 3 * kBeta * kDt, 1e-6);
+  for (const auto& a : out) {
+    EXPECT_LE(a.upload_bits, 1.0 * kBeta * kDt + 1e-6);
+  }
+  check_conservation(actives, out);
+}
+
+TEST(CapacityMatcher, ScarceBudgetFallsBackToServer) {
+  const CapacityMatcher matcher;
+  std::vector<ActivePeer> actives{peer(0, 0, 5, 1), peer(1, 0, 5, 1),
+                                  peer(2, 0, 5, 1)};
+  std::vector<PeerAllocation> out;
+  matcher.allocate(actives, 0, config(0.25), out);
+  // Capacity 3·0.25β = 0.75β per window; demand 2β. Peers deliver 0.75β.
+  double peer_bits = 0, server_bits = 0;
+  for (const auto& a : out) {
+    peer_bits += total_peer_bits(a);
+    server_bits += a.server_bits;
+  }
+  EXPECT_NEAR(peer_bits, 0.75 * kBeta * kDt, 1e-6);
+  EXPECT_NEAR(server_bits, (3.0 - 0.75) * kBeta * kDt, 1e-6);
+  check_conservation(actives, out);
+}
+
+TEST(CapacityMatcher, ClosestFirstThenSpill) {
+  // Downloader 2 shares an ExP with uploader 1 (budget 0.5β) and a PoP
+  // with uploader 0 (in another ExP): it must drain the ExP-mate first and
+  // spill the remainder to the PoP level.
+  const CapacityMatcher matcher;
+  std::vector<ActivePeer> actives{peer(0, 0, 4, 1), peer(1, 0, 5, 1),
+                                  peer(2, 0, 5, 1)};
+  std::vector<PeerAllocation> out;
+  matcher.allocate(actives, 0, config(0.5), out);
+  // Non-seed downloaders are 1 and 2 (0 is seed), processed in index order.
+  // Downloader 1: ExP-mate is 2 (budget 0.5β) -> 0.5β at ExP; then PoP-mate
+  // 0 — but 0 is the seed and still has budget -> 0.5β at PoP.
+  EXPECT_NEAR(out[1].peer_bits[index(LocalityLevel::kExchangePoint)],
+              0.5 * kBeta * kDt, 1e-6);
+  EXPECT_NEAR(out[1].peer_bits[index(LocalityLevel::kPop)], 0.5 * kBeta * kDt,
+              1e-6);
+  // Downloader 2: ExP-mate 1's budget is intact -> 0.5β at ExP; PoP mate 0
+  // is drained -> remainder from server.
+  EXPECT_NEAR(out[2].peer_bits[index(LocalityLevel::kExchangePoint)],
+              0.5 * kBeta * kDt, 1e-6);
+  EXPECT_NEAR(out[2].server_bits, 0.5 * kBeta * kDt, 1e-6);
+  check_conservation(actives, out);
+}
+
+TEST(CapacityMatcher, CrossIspOnlyWhenAllowed) {
+  const CapacityMatcher matcher;
+  std::vector<ActivePeer> actives{peer(0, 0, 5, 1), peer(1, 1, 5, 1)};
+  std::vector<PeerAllocation> out;
+  // ISP-friendly: the lone other peer is in another ISP -> server only.
+  matcher.allocate(actives, 0, config(1.0, /*isp_friendly=*/true), out);
+  EXPECT_NEAR(out[1].server_bits, kBeta * kDt, 1e-9);
+  // Cross-ISP allowed: pulled as cross traffic.
+  matcher.allocate(actives, 0, config(1.0, /*isp_friendly=*/false), out);
+  EXPECT_NEAR(out[1].cross_isp_bits, kBeta * kDt, 1e-9);
+}
+
+TEST(CapacityMatcher, RatioAboveOneAllowsMultipleDownloaders) {
+  // One strong uploader (q = 2β) can feed both downloaders entirely.
+  const CapacityMatcher matcher;
+  std::vector<ActivePeer> actives{peer(0, 0, 5, 1), peer(1, 0, 5, 1),
+                                  peer(2, 0, 5, 1)};
+  std::vector<PeerAllocation> out;
+  matcher.allocate(actives, 0, config(2.0), out);
+  double server = 0;
+  for (const auto& a : out) server += a.server_bits;
+  EXPECT_NEAR(server, kBeta * kDt, 1e-6);  // only the seed hits the server
+}
+
+TEST(MakeMatcher, Factory) {
+  EXPECT_NE(make_matcher(MatcherKind::kExistence), nullptr);
+  EXPECT_NE(make_matcher(MatcherKind::kCapacity), nullptr);
+}
+
+}  // namespace
+}  // namespace cl

@@ -1,0 +1,93 @@
+// Tests for model/offload.h — the traffic offload fraction G (Eq. 3).
+#include "model/offload.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace cl {
+namespace {
+
+TEST(Offload, ZeroCapacityIsZero) {
+  EXPECT_DOUBLE_EQ(offload_fraction(0.0, 1.0), 0.0);
+}
+
+TEST(Offload, ZeroUploadIsZero) {
+  EXPECT_DOUBLE_EQ(offload_fraction(10.0, 0.0), 0.0);
+}
+
+TEST(Offload, PaperFootnoteAtUnitCapacity) {
+  // Footnote 3: at c = 1, G = 0.37·(q/β) (= e^{-1}·q/β exactly).
+  EXPECT_NEAR(offload_at_unit_capacity(1.0), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(offload_at_unit_capacity(0.5), 0.5 * std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(offload_at_unit_capacity(1.0), 0.37, 0.005);
+}
+
+TEST(Offload, ClosedFormMatchesEquation3) {
+  for (double c : {0.2, 1.0, 3.0, 25.0}) {
+    for (double r : {0.2, 0.6, 1.0}) {
+      const double expected = r * (c + std::exp(-c) - 1.0) / c;
+      EXPECT_NEAR(offload_fraction(c, r), expected, 1e-12);
+    }
+  }
+}
+
+TEST(Offload, ScalesLinearlyInUploadRatio) {
+  const double g1 = offload_fraction(5.0, 0.2);
+  const double g2 = offload_fraction(5.0, 0.4);
+  EXPECT_NEAR(g2, 2.0 * g1, 1e-12);
+}
+
+TEST(Offload, ApproachesCeiling) {
+  EXPECT_NEAR(offload_fraction(1e4, 1.0), 1.0, 1e-3);
+  EXPECT_NEAR(offload_fraction(1e4, 0.6), 0.6, 1e-3);
+}
+
+TEST(Offload, CappedAtOne) {
+  // q/β > 1 cannot offload more than everything.
+  EXPECT_LE(offload_fraction(1e6, 5.0), 1.0);
+}
+
+TEST(Offload, SmallCapacitySlope) {
+  // G ≈ (q/β)·c/2 for c -> 0.
+  const double c = 1e-6;
+  EXPECT_NEAR(offload_fraction(c, 0.8) / c,
+              offload_small_capacity_slope(0.8), 1e-3);
+}
+
+TEST(Offload, CeilingHelper) {
+  EXPECT_DOUBLE_EQ(offload_ceiling(0.7), 0.7);
+  EXPECT_DOUBLE_EQ(offload_ceiling(2.0), 1.0);
+}
+
+TEST(Offload, RejectsNegativeArguments) {
+  EXPECT_THROW(offload_fraction(-1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(offload_fraction(1.0, -1.0), InvalidArgument);
+  EXPECT_THROW(offload_ceiling(-0.1), InvalidArgument);
+}
+
+// Property sweep over capacities: G is increasing in c and within [0, q/β].
+class OffloadSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(OffloadSweep, MonotoneInCapacity) {
+  const double c = GetParam();
+  EXPECT_LE(offload_fraction(c, 1.0), offload_fraction(c * 1.2, 1.0) + 1e-14);
+}
+
+TEST_P(OffloadSweep, Bounded) {
+  const double c = GetParam();
+  for (double r : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const double g = offload_fraction(c, r);
+    EXPECT_GE(g, 0.0);
+    EXPECT_LE(g, r + 1e-14);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CapacityGrid, OffloadSweep,
+                         ::testing::Values(1e-4, 0.01, 0.1, 0.5, 1.0, 2.0,
+                                           5.0, 10.0, 100.0, 1e4));
+
+}  // namespace
+}  // namespace cl

@@ -1,0 +1,202 @@
+// Tests for model/savings.h — the master equation (Eq. 12) and the Fig. 5
+// component curves. Expected values cross-checked against the paper's
+// reported ranges.
+#include "model/savings.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/isp_topology.h"
+#include "util/error.h"
+
+namespace cl {
+namespace {
+
+SavingsModel valancius_model() {
+  return {valancius_params(), IspTopology::london_default()};
+}
+
+SavingsModel baliga_model() {
+  return {baliga_params(), IspTopology::london_default()};
+}
+
+TEST(SavingsModel, PaperHeadlineValancius) {
+  // Fig. 2 top-left: popular item at c ≈ 100, q/β = 1 saves ~0.45–0.48.
+  EXPECT_NEAR(valancius_model().savings(100.0, 1.0), 0.4747, 0.001);
+}
+
+TEST(SavingsModel, PaperHeadlineBaliga) {
+  // Fig. 2 bottom-left: ~0.29 under Baliga at c = 100, q/β = 1; the paper
+  // reports 24–29 % for popular items.
+  EXPECT_NEAR(baliga_model().savings(100.0, 1.0), 0.2903, 0.001);
+}
+
+TEST(SavingsModel, PopularRangeAcrossUploadRatios) {
+  // Paper: savings remain above 10 % even at q/β = 0.4 for popular items.
+  EXPECT_GT(valancius_model().savings(100.0, 0.4), 0.10);
+  EXPECT_GT(baliga_model().savings(100.0, 0.4), 0.10);
+}
+
+TEST(SavingsModel, UnpopularItemsBelowTenPercent) {
+  // Paper: savings for the ~1K-view item are always below 10 %.
+  for (double r : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    EXPECT_LT(valancius_model().savings(0.25, r), 0.10);
+    EXPECT_LT(baliga_model().savings(0.25, r), 0.10);
+  }
+}
+
+TEST(SavingsModel, ZeroCapacityIsZeroSavings) {
+  EXPECT_DOUBLE_EQ(valancius_model().savings(0.0, 1.0), 0.0);
+}
+
+TEST(SavingsModel, MonotoneInCapacity) {
+  const auto model = valancius_model();
+  double prev = model.savings(1e-3, 1.0);
+  for (double c : {0.01, 0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0}) {
+    const double cur = model.savings(c, 1.0);
+    EXPECT_GE(cur, prev - 1e-12) << "c=" << c;
+    prev = cur;
+  }
+}
+
+TEST(SavingsModel, MonotoneInUploadRatio) {
+  const auto model = baliga_model();
+  double prev = 0;
+  for (double r : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const double cur = model.savings(10.0, r);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(SavingsModel, ApproachesCeiling) {
+  for (const auto& model : {valancius_model(), baliga_model()}) {
+    EXPECT_NEAR(model.savings(1e6, 1.0), model.savings_ceiling(1.0), 1e-3);
+  }
+}
+
+TEST(SavingsModel, CeilingValues) {
+  // (ψs − 2lγm − PUE·γexp)/ψs.
+  EXPECT_NEAR(valancius_model().savings_ceiling(1.0),
+              (1620.32 - 214.0 - 360.0) / 1620.32, 1e-9);
+  EXPECT_NEAR(baliga_model().savings_ceiling(1.0),
+              (615.56 - 214.0 - 1.2 * 144.86) / 615.56, 1e-9);
+}
+
+TEST(SavingsModel, UploadRatioAboveOneClamped) {
+  const auto model = valancius_model();
+  EXPECT_DOUBLE_EQ(model.savings(10.0, 1.0), model.savings(10.0, 3.0));
+  EXPECT_DOUBLE_EQ(model.offload(10.0, 1.0), model.offload(10.0, 5.0));
+}
+
+TEST(SavingsModel, SavingsCanBeNegative) {
+  // With an energy model whose P2P paths are *longer* than the CDN path,
+  // the double modem cost plus the long path make hybrid delivery a net
+  // loss at every capacity.
+  auto p = hop_count_params("bad-p2p", EnergyPerBit{150.0}, 7, 9, 9, 9);
+  const SavingsModel model(p, IspTopology::london_default());
+  EXPECT_LT(model.savings(0.5, 1.0), 0.0);
+  EXPECT_LT(model.savings(100.0, 1.0), 0.0);
+  EXPECT_LT(model.savings_ceiling(1.0), 0.0);
+}
+
+TEST(SavingsModel, MeanPeerGammaBounds) {
+  const auto model = valancius_model();
+  for (double c : {0.01, 1.0, 100.0, 10000.0}) {
+    const double g = model.mean_peer_gamma(c).value();
+    EXPECT_GE(g, 300.0 - 1e-9);
+    EXPECT_LE(g, 900.0 + 1e-9);
+  }
+  EXPECT_NEAR(model.mean_peer_gamma(1e5).value(), 300.0, 1.0);
+  // Small-c limit is γp2p(L=2) ≈ 865.8, not γcore (see localisation tests).
+  EXPECT_NEAR(model.mean_peer_gamma(1e-4).value(), 865.78, 0.5);
+}
+
+TEST(SavingsModel, MeanPeerGammaDecreasing) {
+  const auto model = baliga_model();
+  double prev = model.mean_peer_gamma(0.001).value();
+  for (double c : {0.01, 0.1, 1.0, 10.0, 100.0, 1000.0}) {
+    const double cur = model.mean_peer_gamma(c).value();
+    EXPECT_LE(cur, prev + 1e-9);
+    prev = cur;
+  }
+}
+
+TEST(SavingsModel, OffloadMatchesEquation3) {
+  const auto model = valancius_model();
+  EXPECT_NEAR(model.offload(1.0, 1.0), 0.3679, 1e-3);
+}
+
+TEST(SavingsModel, RejectsInvalidLocalisation) {
+  LocalisationProbabilities loc{0.5, 0.1, 1.0};  // exp > pop
+  EXPECT_THROW(SavingsModel(valancius_params(), loc), InvalidArgument);
+  LocalisationProbabilities loc2{0.1, 0.5, 0.9};  // core != 1
+  EXPECT_THROW(SavingsModel(valancius_params(), loc2), InvalidArgument);
+}
+
+TEST(SavingsModel, RejectsNegativeArguments) {
+  const auto model = valancius_model();
+  EXPECT_THROW(model.savings(-1.0, 1.0), InvalidArgument);
+  EXPECT_THROW(model.savings(1.0, -1.0), InvalidArgument);
+}
+
+// ---- Fig. 5 component curves ----
+
+TEST(Components, UserSavingsIsMinusOffload) {
+  const auto model = valancius_model();
+  for (double c : {0.1, 1.0, 10.0, 100.0}) {
+    const auto comp = model.components(c, 1.0);
+    EXPECT_NEAR(comp.user, -model.offload(c, 1.0), 1e-12);
+  }
+}
+
+TEST(Components, CctStartsAtMinusOne) {
+  const auto comp = valancius_model().components(1e-9, 1.0);
+  EXPECT_NEAR(comp.carbon_credit_transfer, -1.0, 1e-6);
+}
+
+TEST(Components, CctAsymptotes) {
+  // Paper Section V: +18 % (Valancius) and +58 % (Baliga) at G -> 1.
+  EXPECT_NEAR(valancius_model().components(1e7, 1.0).carbon_credit_transfer,
+              0.1837, 0.001);
+  EXPECT_NEAR(baliga_model().components(1e7, 1.0).carbon_credit_transfer,
+              0.5774, 0.001);
+}
+
+TEST(Components, CdnSavingsPositiveAndGrowing) {
+  const auto model = baliga_model();
+  double prev = 0;
+  for (double c : {0.1, 1.0, 10.0, 100.0, 1000.0}) {
+    const auto comp = model.components(c, 1.0);
+    EXPECT_GE(comp.cdn, prev - 1e-12);
+    EXPECT_GE(comp.cdn, 0.0);
+    prev = comp.cdn;
+  }
+}
+
+TEST(Components, CdnCeiling) {
+  // At G -> 1 all server bits vanish; network still carries P2P at γexp:
+  // CDN-side savings -> 1 − γexp/(γs+γcdn).
+  const auto comp = valancius_model().components(1e7, 1.0);
+  EXPECT_NEAR(comp.cdn, 1.0 - 300.0 / 1261.1, 1e-3);
+}
+
+TEST(Components, EndToEndMatchesSavings) {
+  const auto model = valancius_model();
+  for (double c : {0.5, 5.0, 50.0}) {
+    EXPECT_DOUBLE_EQ(model.components(c, 1.0).end_to_end,
+                     model.savings(c, 1.0));
+  }
+}
+
+TEST(Components, EndToEndBetweenUserAndCdn) {
+  // System savings sit between the users' loss and the CDN's gain.
+  const auto model = baliga_model();
+  for (double c : {1.0, 10.0, 100.0}) {
+    const auto comp = model.components(c, 1.0);
+    EXPECT_GT(comp.end_to_end, comp.user);
+    EXPECT_LT(comp.end_to_end, comp.cdn);
+  }
+}
+
+}  // namespace
+}  // namespace cl

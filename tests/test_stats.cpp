@@ -1,0 +1,147 @@
+// Tests for util/stats.h — streaming statistics and series comparison.
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace cl {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, n-1 = 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(5);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // adopt
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25025, 1e-3);
+}
+
+TEST(QuantileSorted, Interpolates) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(QuantileSorted, SingleElement) {
+  EXPECT_DOUBLE_EQ(quantile_sorted({7.0}, 0.5), 7.0);
+}
+
+TEST(QuantileSorted, RejectsBadInput) {
+  EXPECT_THROW(quantile_sorted({}, 0.5), InvalidArgument);
+  EXPECT_THROW(quantile_sorted({1.0}, 1.5), InvalidArgument);
+}
+
+TEST(Summarize, Empty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(Summarize, KnownValues) {
+  const Summary s = summarize({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p25, 2.0);
+  EXPECT_DOUBLE_EQ(s.p75, 4.0);
+}
+
+TEST(MeanAbsRelativeError, Identity) {
+  EXPECT_DOUBLE_EQ(mean_abs_relative_error({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(MeanAbsRelativeError, KnownError) {
+  // |1.1-1|/1 = 0.1 ; |1.8-2|/2 = 0.1 -> mean 0.1.
+  EXPECT_NEAR(mean_abs_relative_error({1.1, 1.8}, {1.0, 2.0}), 0.1, 1e-12);
+}
+
+TEST(MeanAbsRelativeError, SkipsNearZeroReference) {
+  EXPECT_NEAR(mean_abs_relative_error({5.0, 1.1}, {0.0, 1.0}), 0.1, 1e-12);
+}
+
+TEST(MeanAbsRelativeError, RejectsLengthMismatch) {
+  EXPECT_THROW(mean_abs_relative_error({1.0}, {1.0, 2.0}), InvalidArgument);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  EXPECT_NEAR(pearson({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAnticorrelation) {
+  EXPECT_NEAR(pearson({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesIsZero) {
+  EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(Pearson, IndependentNearZero) {
+  Rng rng(9);
+  std::vector<double> a, b;
+  for (int i = 0; i < 20000; ++i) {
+    a.push_back(rng.uniform());
+    b.push_back(rng.uniform());
+  }
+  EXPECT_NEAR(pearson(a, b), 0.0, 0.02);
+}
+
+}  // namespace
+}  // namespace cl

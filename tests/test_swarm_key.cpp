@@ -1,0 +1,86 @@
+// Tests for sim/swarm_key.h — swarm grouping keys.
+#include "sim/swarm_key.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace cl {
+namespace {
+
+SessionRecord session(std::uint32_t content, std::uint32_t isp,
+                      BitrateClass bitrate) {
+  SessionRecord s;
+  s.content = content;
+  s.isp = isp;
+  s.bitrate = bitrate;
+  return s;
+}
+
+TEST(SwarmKey, FullSplitKeysAllDimensions) {
+  SimConfig config;  // isp_friendly + split_by_bitrate by default
+  const auto k = swarm_key_for(session(7, 3, BitrateClass::kHd), config);
+  EXPECT_EQ(k.content, 7u);
+  EXPECT_EQ(k.isp, 3u);
+  EXPECT_TRUE(k.has_isp());
+  EXPECT_TRUE(k.has_bitrate());
+  EXPECT_EQ(k.bitrate_class(), BitrateClass::kHd);
+}
+
+TEST(SwarmKey, CrossIspMergesIsps) {
+  SimConfig config;
+  config.isp_friendly = false;
+  const auto a = swarm_key_for(session(7, 0, BitrateClass::kSd), config);
+  const auto b = swarm_key_for(session(7, 4, BitrateClass::kSd), config);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.has_isp());
+}
+
+TEST(SwarmKey, MixedBitrateMergesClasses) {
+  SimConfig config;
+  config.split_by_bitrate = false;
+  const auto a = swarm_key_for(session(7, 0, BitrateClass::kSd), config);
+  const auto b = swarm_key_for(session(7, 0, BitrateClass::kFullHd), config);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.has_bitrate());
+}
+
+TEST(SwarmKey, DifferentContentAlwaysDifferentSwarm) {
+  SimConfig config;
+  config.isp_friendly = false;
+  config.split_by_bitrate = false;
+  const auto a = swarm_key_for(session(1, 0, BitrateClass::kSd), config);
+  const auto b = swarm_key_for(session(2, 0, BitrateClass::kSd), config);
+  EXPECT_NE(a, b);
+}
+
+TEST(SwarmKey, PackedIsInjectiveOverRealisticRanges) {
+  SimConfig config;
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint32_t content : {0u, 1u, 9999u}) {
+    for (std::uint32_t isp : {0u, 1u, 4u}) {
+      for (auto bitrate : kAllBitrateClasses) {
+        const auto k = swarm_key_for(session(content, isp, bitrate), config);
+        EXPECT_TRUE(seen.insert(k.packed()).second);
+      }
+    }
+  }
+}
+
+TEST(SwarmKey, HashUsableInUnorderedContainers) {
+  std::unordered_set<SwarmKey> keys;
+  SimConfig config;
+  keys.insert(swarm_key_for(session(1, 0, BitrateClass::kSd), config));
+  keys.insert(swarm_key_for(session(1, 0, BitrateClass::kSd), config));
+  keys.insert(swarm_key_for(session(1, 1, BitrateClass::kSd), config));
+  EXPECT_EQ(keys.size(), 2u);
+}
+
+TEST(SwarmKey, SentinelsDistinctFromRealValues) {
+  EXPECT_NE(SwarmKey::kAnyIsp, 0u);
+  EXPECT_NE(SwarmKey::kAnyBitrate,
+            static_cast<std::uint8_t>(BitrateClass::kFullHd));
+}
+
+}  // namespace
+}  // namespace cl

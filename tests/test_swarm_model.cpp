@@ -1,0 +1,197 @@
+// Tests for model/swarm_model.h — the M/M/∞ swarm mathematics.
+#include "model/swarm_model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace cl {
+namespace {
+
+TEST(SwarmModel, LittlesLaw) {
+  const auto swarm = SwarmModel::from_rate(Seconds::from_minutes(30),
+                                           1.0 / 600.0);  // 1800s · 1/600s
+  EXPECT_NEAR(swarm.capacity(), 3.0, 1e-12);
+}
+
+TEST(SwarmModel, POnline) {
+  EXPECT_NEAR(SwarmModel(0).p_online(), 0.0, 1e-15);
+  EXPECT_NEAR(SwarmModel(1).p_online(), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(SwarmModel(50).p_online(), 1.0, 1e-12);
+}
+
+TEST(SwarmModel, PmfSumsToOne) {
+  for (double c : {0.1, 1.0, 5.0, 40.0}) {
+    const SwarmModel swarm(c);
+    double sum = 0;
+    for (unsigned l = 0; l < 400; ++l) sum += swarm.occupancy_pmf(l);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "c=" << c;
+  }
+}
+
+TEST(SwarmModel, PmfMeanIsCapacity) {
+  const SwarmModel swarm(7.5);
+  double mean = 0;
+  for (unsigned l = 0; l < 200; ++l) {
+    mean += l * swarm.occupancy_pmf(l);
+  }
+  EXPECT_NEAR(mean, 7.5, 1e-9);
+}
+
+TEST(SwarmModel, PmfAtZeroCapacity) {
+  const SwarmModel swarm(0);
+  EXPECT_DOUBLE_EQ(swarm.occupancy_pmf(0), 1.0);
+  EXPECT_DOUBLE_EQ(swarm.occupancy_pmf(3), 0.0);
+}
+
+TEST(SwarmModel, RejectsNegativeCapacity) {
+  EXPECT_THROW(SwarmModel(-1.0), InvalidArgument);
+}
+
+TEST(ExpectedExcess, KnownValues) {
+  EXPECT_NEAR(expected_excess(0.0), 0.0, 1e-15);
+  EXPECT_NEAR(expected_excess(1.0), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(expected_excess(10.0), 9.0 + std::exp(-10.0), 1e-12);
+}
+
+TEST(ExpectedExcess, MatchesPoissonExpectationNumerically) {
+  for (double c : {0.3, 1.0, 4.0, 20.0}) {
+    const SwarmModel swarm(c);
+    double expectation = 0;
+    for (unsigned l = 2; l < 400; ++l) {
+      expectation += (l - 1.0) * swarm.occupancy_pmf(l);
+    }
+    EXPECT_NEAR(expected_excess(c), expectation, 1e-8) << "c=" << c;
+  }
+}
+
+TEST(ExpectedExcess, SeriesBranchContinuity) {
+  // The c < 1e-2 series and the expm1 path must agree at the seam.
+  // A(c) ~ c²/2, so the ratio across the seam must track (c1/c2)².
+  const double below = expected_excess(9.999e-3);
+  const double above = expected_excess(1.0001e-2);
+  EXPECT_NEAR(below / above, (9.999e-3 * 9.999e-3) / (1.0001e-2 * 1.0001e-2),
+              1e-5);
+}
+
+TEST(ExpectedExcess, TinyCapacityQuadratic) {
+  // A(c) ~ c²/2 as c -> 0.
+  for (double c : {1e-6, 1e-8, 1e-10}) {
+    EXPECT_NEAR(expected_excess(c) / (c * c / 2), 1.0, 1e-3) << "c=" << c;
+  }
+}
+
+TEST(ExpectedExcessNonlocal, BoundaryValues) {
+  for (double c : {0.5, 2.0, 30.0}) {
+    EXPECT_DOUBLE_EQ(expected_excess_nonlocal(1.0, c), 0.0);
+    EXPECT_NEAR(expected_excess_nonlocal(0.0, c), expected_excess(c), 1e-12);
+  }
+}
+
+TEST(ExpectedExcessNonlocal, MatchesPoissonExpectationNumerically) {
+  for (double c : {0.5, 3.0, 15.0}) {
+    for (double p : {0.0029, 0.111, 0.5}) {
+      const SwarmModel swarm(c);
+      double expectation = 0;
+      for (unsigned l = 2; l < 500; ++l) {
+        expectation +=
+            (l - 1.0) * std::pow(1.0 - p, l - 1.0) * swarm.occupancy_pmf(l);
+      }
+      EXPECT_NEAR(expected_excess_nonlocal(p, c), expectation, 1e-8)
+          << "c=" << c << " p=" << p;
+    }
+  }
+}
+
+TEST(ExpectedExcessNonlocal, DecreasesInP) {
+  for (double c : {1.0, 10.0}) {
+    double prev = expected_excess_nonlocal(0.0, c);
+    for (double p : {0.01, 0.1, 0.3, 0.7, 1.0}) {
+      const double cur = expected_excess_nonlocal(p, c);
+      EXPECT_LE(cur, prev + 1e-12);
+      prev = cur;
+    }
+  }
+}
+
+TEST(ExpectedExcessNonlocal, VanishesAtLargeCapacityForPositiveP) {
+  // e^{-cp} kills the term once c·p >> 1: nobody needs a non-local peer.
+  EXPECT_LT(expected_excess_nonlocal(0.1, 500.0), 1e-12);
+}
+
+TEST(ExpectedExcessNonlocal, SmallCsBranchContinuity) {
+  const double p = 0.999;  // forces tiny c·s = c·0.001
+  const double below = expected_excess_nonlocal(p, 0.09);
+  const double above = expected_excess_nonlocal(p, 0.11);
+  EXPECT_GT(above, below);
+  EXPECT_NEAR(above / below, (0.11 * 0.11) / (0.09 * 0.09), 0.05);
+}
+
+TEST(ExpectedExcessNonlocal, RejectsOutOfDomain) {
+  EXPECT_THROW(expected_excess_nonlocal(-0.1, 1.0), InvalidArgument);
+  EXPECT_THROW(expected_excess_nonlocal(1.1, 1.0), InvalidArgument);
+  EXPECT_THROW(expected_excess_nonlocal(0.5, -1.0), InvalidArgument);
+}
+
+TEST(SwarmModel, MonteCarloOccupancyMatchesPoisson) {
+  // Simulate an M/M/∞ queue directly and compare the time-averaged
+  // occupancy with Poisson(c): arrivals rate r, service mean u.
+  const double r = 0.02, u = 200.0;  // c = 4
+  Rng rng(99);
+  double t = 0;
+  std::vector<double> departures;
+  RunningStats occupancy;
+  const double horizon = 4e5;
+  double next_arrival = rng.exponential(r);
+  double last_t = 0;
+  double occ_time_weighted = 0;
+  while (t < horizon) {
+    // Next event: arrival or earliest departure.
+    double next_departure = departures.empty()
+        ? std::numeric_limits<double>::infinity()
+        : *std::min_element(departures.begin(), departures.end());
+    const double next_t = std::min(next_arrival, next_departure);
+    occ_time_weighted += static_cast<double>(departures.size()) * (next_t - last_t);
+    last_t = next_t;
+    t = next_t;
+    if (next_arrival <= next_departure) {
+      departures.push_back(t + rng.exponential(1.0 / u));
+      next_arrival = t + rng.exponential(r);
+    } else {
+      departures.erase(
+          std::min_element(departures.begin(), departures.end()));
+    }
+  }
+  EXPECT_NEAR(occ_time_weighted / horizon, r * u, 0.15);
+}
+
+// Property sweep: expected_excess is increasing and convex-ish in c, and
+// bounded by c-1 < A(c) <= c.
+class ExpectedExcessSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExpectedExcessSweep, Bounds) {
+  const double c = GetParam();
+  const double a = expected_excess(c);
+  EXPECT_GE(a, 0.0);
+  EXPECT_LE(a, c);
+  EXPECT_GE(a, c - 1.0);
+}
+
+TEST_P(ExpectedExcessSweep, MonotoneIncreasing) {
+  const double c = GetParam();
+  EXPECT_LE(expected_excess(c), expected_excess(c * 1.1) + 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(CapacityGrid, ExpectedExcessSweep,
+                         ::testing::Values(1e-6, 1e-4, 0.01, 0.1, 0.37, 1.0,
+                                           2.0, 5.0, 10.0, 50.0, 100.0,
+                                           1000.0, 1e5));
+
+}  // namespace
+}  // namespace cl

@@ -1,0 +1,68 @@
+// Tests for util/table.h — console table rendering and format helpers.
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace cl {
+namespace {
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(Fmt, Scientific) {
+  EXPECT_EQ(fmt_sci(12345.0, 2), "1.23e+04");
+}
+
+TEST(FmtCount, ThousandsSeparators) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(23500000), "23,500,000");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+}
+
+TEST(FmtPct, Percentage) {
+  EXPECT_EQ(fmt_pct(0.345), "34.5%");
+  EXPECT_EQ(fmt_pct(0.351, 0), "35%");
+  EXPECT_EQ(fmt_pct(-0.1), "-10.0%");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "v"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name    v"), std::string::npos);
+  EXPECT_NE(text.find("longer  22"), std::string::npos);
+  EXPECT_NE(text.find("------"), std::string::npos);
+}
+
+TEST(TextTable, NumericRowHelper) {
+  TextTable t({"label", "x", "y"});
+  t.add_row_numeric("row", {1.23456, 2.0}, 2);
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("1.23"), std::string::npos);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TextTable, RejectsWrongArity) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+  EXPECT_THROW(t.add_row_numeric("l", {1.0, 2.0}), InvalidArgument);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cl

@@ -1,0 +1,172 @@
+// Tests for the ISP topology substrate (paper Fig. 1, Table III).
+#include "topology/isp_topology.h"
+#include "topology/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace cl {
+namespace {
+
+TEST(IspTopology, LondonDefaultMatchesTableIII) {
+  const auto topo = IspTopology::london_default();
+  EXPECT_EQ(topo.exchange_points(), 345u);
+  EXPECT_EQ(topo.pops(), 9u);
+  EXPECT_EQ(topo.cores(), 1u);
+  const auto loc = topo.localisation();
+  EXPECT_NEAR(loc.exp, 0.0029, 1e-4);   // 0.29 % in Table III
+  EXPECT_NEAR(loc.pop, 0.1111, 1e-4);   // 11.11 % in Table III
+  EXPECT_DOUBLE_EQ(loc.core, 1.0);
+}
+
+TEST(IspTopology, LocalisationAtAccessor) {
+  const auto loc = IspTopology::london_default().localisation();
+  EXPECT_DOUBLE_EQ(loc.at(LocalityLevel::kExchangePoint), loc.exp);
+  EXPECT_DOUBLE_EQ(loc.at(LocalityLevel::kPop), loc.pop);
+  EXPECT_DOUBLE_EQ(loc.at(LocalityLevel::kCore), 1.0);
+}
+
+TEST(IspTopology, EveryExpHasAPop) {
+  const auto topo = IspTopology::london_default();
+  for (std::uint32_t e = 0; e < topo.exchange_points(); ++e) {
+    EXPECT_LT(topo.pop_of(e), topo.pops());
+  }
+}
+
+TEST(IspTopology, ExpsSpreadEvenlyOverPops) {
+  const auto topo = IspTopology::london_default();
+  std::vector<int> counts(topo.pops(), 0);
+  for (std::uint32_t e = 0; e < topo.exchange_points(); ++e) {
+    ++counts[topo.pop_of(e)];
+  }
+  const auto [min_it, max_it] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_LE(*max_it - *min_it, 1);
+}
+
+TEST(IspTopology, LocalityBetween) {
+  const IspTopology topo("t", 6, 2);  // exp 0,2,4 -> pop 0; 1,3,5 -> pop 1
+  EXPECT_EQ(topo.locality_between(3, 3), LocalityLevel::kExchangePoint);
+  EXPECT_EQ(topo.locality_between(0, 2), LocalityLevel::kPop);
+  EXPECT_EQ(topo.locality_between(0, 1), LocalityLevel::kCore);
+}
+
+TEST(IspTopology, LocalityIsSymmetric) {
+  const auto topo = IspTopology::london_default();
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.uniform_index(345));
+    const auto b = static_cast<std::uint32_t>(rng.uniform_index(345));
+    EXPECT_EQ(topo.locality_between(a, b), topo.locality_between(b, a));
+  }
+}
+
+TEST(IspTopology, RejectsInvalidShape) {
+  EXPECT_THROW(IspTopology("t", 3, 5), InvalidArgument);  // fewer exp than pop
+  EXPECT_THROW(IspTopology("t", 0, 0), InvalidArgument);
+}
+
+TEST(IspTopology, RejectsOutOfRangeExp) {
+  const auto topo = IspTopology::london_default();
+  EXPECT_THROW(topo.pop_of(345), InvalidArgument);
+  EXPECT_THROW(topo.locality_between(0, 345), InvalidArgument);
+}
+
+TEST(IspTopology, ScaledKeepsProportions) {
+  const auto half = IspTopology::scaled("half", 0.5);
+  EXPECT_NEAR(half.exchange_points(), 345.0 * 0.5, 1.0);
+  EXPECT_NEAR(half.pops(), 4.5, 0.51);
+  EXPECT_GE(half.exchange_points(), half.pops());
+}
+
+TEST(IspTopology, ScaledTinyShareStillValid) {
+  const auto tiny = IspTopology::scaled("tiny", 0.01);
+  EXPECT_GE(tiny.pops(), 1u);
+  EXPECT_GE(tiny.exchange_points(), tiny.pops());
+}
+
+TEST(IspTopology, ScaledRejectsBadShare) {
+  EXPECT_THROW(IspTopology::scaled("x", 0.0), InvalidArgument);
+  EXPECT_THROW(IspTopology::scaled("x", 1.5), InvalidArgument);
+}
+
+TEST(UniformPlacer, ProbabilitiesMatchCounts) {
+  const auto topo = IspTopology::london_default();
+  const UniformPlacer placer(topo);
+  EXPECT_NEAR(placer.same_exp_probability(), 1.0 / 345.0, 1e-12);
+  EXPECT_NEAR(placer.same_pop_probability(), 1.0 / 9.0, 1e-12);
+}
+
+TEST(UniformPlacer, EmpiricalUniformity) {
+  const IspTopology topo("t", 10, 2);
+  const UniformPlacer placer(topo);
+  Rng rng(7);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[placer.place(0, rng).exp];
+  for (int c : counts) EXPECT_NEAR(c, n / 10.0, n * 0.01);
+}
+
+TEST(Metro, LondonTop5Shape) {
+  const auto metro = Metro::london_top5();
+  ASSERT_EQ(metro.isp_count(), 5u);
+  EXPECT_EQ(metro.isp(0).exchange_points(), 345u);
+  double total_share = 0;
+  for (std::size_t i = 0; i < 5; ++i) total_share += metro.share(i);
+  EXPECT_NEAR(total_share, 1.0, 1e-12);
+  // Shares are descending: ISP-1 is the biggest.
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_LE(metro.share(i), metro.share(i - 1));
+  }
+}
+
+TEST(Metro, SampleIspFollowsShares) {
+  const auto metro = Metro::london_top5();
+  Rng rng(11);
+  std::vector<int> counts(5, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[metro.sample_isp(rng)];
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, metro.share(i), 0.01);
+  }
+}
+
+TEST(Metro, PlaceUserWithinIspRange) {
+  const auto metro = Metro::london_top5();
+  Rng rng(13);
+  for (std::uint32_t isp = 0; isp < 5; ++isp) {
+    for (int i = 0; i < 100; ++i) {
+      const auto p = metro.place_user(isp, rng);
+      EXPECT_EQ(p.isp, isp);
+      EXPECT_LT(p.exp, metro.isp(isp).exchange_points());
+    }
+  }
+}
+
+TEST(Metro, RejectsMismatchedShapes) {
+  std::vector<IspTopology> topos;
+  topos.push_back(IspTopology::london_default());
+  EXPECT_THROW(Metro(std::move(topos), {0.5, 0.5}), InvalidArgument);
+}
+
+TEST(Metro, RejectsOutOfRangeAccess) {
+  const auto metro = Metro::london_top5();
+  EXPECT_THROW(metro.isp(5), InvalidArgument);
+  EXPECT_THROW(metro.share(5), InvalidArgument);
+  Rng rng(1);
+  EXPECT_THROW(metro.place_user(9, rng), InvalidArgument);
+}
+
+TEST(LocalityLevel, NamesAndIndices) {
+  EXPECT_EQ(to_string(LocalityLevel::kExchangePoint), "ExP");
+  EXPECT_EQ(to_string(LocalityLevel::kPop), "PoP");
+  EXPECT_EQ(to_string(LocalityLevel::kCore), "Core");
+  EXPECT_EQ(index(LocalityLevel::kCore), 2u);
+  EXPECT_EQ(kAllLocalityLevels.size(), kLocalityLevels);
+}
+
+}  // namespace
+}  // namespace cl

@@ -1,0 +1,133 @@
+// Tests for trace/trace_io.h — CSV round-trips of traces.
+#include "trace/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/synthetic.h"
+#include "util/error.h"
+
+namespace cl {
+namespace {
+
+Trace tiny_trace() {
+  Trace t;
+  t.span = Seconds::from_days(1);
+  SessionRecord a;
+  a.user = 1;
+  a.household = 10;
+  a.content = 5;
+  a.isp = 2;
+  a.exp = 77;
+  a.bitrate = BitrateClass::kHd;
+  a.start = 100.5;
+  a.duration = 1800.25;
+  SessionRecord b = a;
+  b.user = 2;
+  b.start = 200.0;
+  b.bitrate = BitrateClass::kMobile;
+  t.sessions = {a, b};
+  return t;
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  const Trace original = tiny_trace();
+  std::ostringstream out;
+  write_trace(out, original);
+  std::istringstream in(out.str());
+  const Trace restored = read_trace(in);
+  ASSERT_EQ(restored.size(), 2u);
+  EXPECT_DOUBLE_EQ(restored.span.value(), original.span.value());
+  const auto& s = restored.sessions[0];
+  EXPECT_EQ(s.user, 1u);
+  EXPECT_EQ(s.household, 10u);
+  EXPECT_EQ(s.content, 5u);
+  EXPECT_EQ(s.isp, 2u);
+  EXPECT_EQ(s.exp, 77u);
+  EXPECT_EQ(s.bitrate, BitrateClass::kHd);
+  EXPECT_DOUBLE_EQ(s.start, 100.5);
+  EXPECT_DOUBLE_EQ(s.duration, 1800.25);
+}
+
+TEST(TraceIo, SpanCommentWrittenFirst) {
+  std::ostringstream out;
+  write_trace(out, tiny_trace());
+  EXPECT_EQ(out.str().rfind("#span=86400", 0), 0u);
+}
+
+TEST(TraceIo, ReaderInfersSpanWithoutComment) {
+  std::istringstream in(
+      "user,household,content,isp,exp,bitrate,start,duration\n"
+      "1,1,0,0,0,sd,100,500\n");
+  const Trace t = read_trace(in);
+  EXPECT_DOUBLE_EQ(t.span.value(), 600.0);
+}
+
+TEST(TraceIo, ReaderSortsByStart) {
+  std::istringstream in(
+      "user,household,content,isp,exp,bitrate,start,duration\n"
+      "1,1,0,0,0,sd,500,10\n"
+      "2,2,0,0,0,sd,100,10\n");
+  const Trace t = read_trace(in);
+  EXPECT_EQ(t.sessions[0].user, 2u);
+}
+
+TEST(TraceIo, RejectsBadBitrate) {
+  std::istringstream in(
+      "user,household,content,isp,exp,bitrate,start,duration\n"
+      "1,1,0,0,0,ultra,100,10\n");
+  EXPECT_THROW(read_trace(in), ParseError);
+}
+
+TEST(TraceIo, RejectsBadNumber) {
+  std::istringstream in(
+      "user,household,content,isp,exp,bitrate,start,duration\n"
+      "abc,1,0,0,0,sd,100,10\n");
+  EXPECT_THROW(read_trace(in), ParseError);
+}
+
+TEST(TraceIo, RejectsMissingColumn) {
+  std::istringstream in("user,household\n1,1\n");
+  EXPECT_THROW(read_trace(in), ParseError);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/cl_trace_test.csv";
+  write_trace_file(path, tiny_trace());
+  const Trace restored = read_trace_file(path);
+  EXPECT_EQ(restored.size(), 2u);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(read_trace_file("/nonexistent/path/trace.csv"), IoError);
+  EXPECT_THROW(write_trace_file("/nonexistent/path/trace.csv", tiny_trace()),
+               IoError);
+}
+
+TEST(TraceIo, SyntheticTraceRoundTripsLosslessly) {
+  const auto metro = Metro::london_top5();
+  TraceConfig config;
+  config.days = 2;
+  config.users = 500;
+  config.exemplar_views = {3000};
+  config.catalogue_tail = 50;
+  config.tail_views = 2000;
+  TraceGenerator gen(config, metro);
+  const Trace original = gen.generate();
+  std::ostringstream out;
+  write_trace(out, original);
+  std::istringstream in(out.str());
+  const Trace restored = read_trace(in);
+  ASSERT_EQ(restored.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); i += 37) {
+    EXPECT_EQ(restored.sessions[i].user, original.sessions[i].user);
+    EXPECT_EQ(restored.sessions[i].content, original.sessions[i].content);
+    EXPECT_DOUBLE_EQ(restored.sessions[i].start, original.sessions[i].start);
+    EXPECT_DOUBLE_EQ(restored.sessions[i].duration,
+                     original.sessions[i].duration);
+  }
+}
+
+}  // namespace
+}  // namespace cl

@@ -1,0 +1,101 @@
+// Tests for util/units.h — dimensional arithmetic and conversions.
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace cl {
+namespace {
+
+using namespace cl::literals;
+
+TEST(Units, BitsFromBytes) {
+  EXPECT_DOUBLE_EQ(Bits::from_bytes(1.0).value(), 8.0);
+  EXPECT_DOUBLE_EQ(Bits{16.0}.bytes(), 2.0);
+}
+
+TEST(Units, BitsGigabytes) {
+  EXPECT_DOUBLE_EQ(Bits::from_bytes(2e9).gigabytes(), 2.0);
+}
+
+TEST(Units, SecondsConversions) {
+  EXPECT_DOUBLE_EQ(Seconds::from_minutes(2).value(), 120.0);
+  EXPECT_DOUBLE_EQ(Seconds::from_hours(1).minutes(), 60.0);
+  EXPECT_DOUBLE_EQ(Seconds::from_days(1).hours(), 24.0);
+  EXPECT_DOUBLE_EQ(Seconds{90.0}.minutes(), 1.5);
+}
+
+TEST(Units, BitRateConversions) {
+  EXPECT_DOUBLE_EQ(BitRate::from_mbps(1.5).value(), 1.5e6);
+  EXPECT_DOUBLE_EQ(BitRate{3e6}.mbps(), 3.0);
+}
+
+TEST(Units, VolumeEqualsRateTimesTime) {
+  const Bits v = BitRate::from_mbps(1.5) * Seconds{10.0};
+  EXPECT_DOUBLE_EQ(v.value(), 1.5e7);
+  const Bits v2 = Seconds{10.0} * BitRate::from_mbps(1.5);
+  EXPECT_DOUBLE_EQ(v.value(), v2.value());
+}
+
+TEST(Units, EnergyEqualsPerBitTimesVolume) {
+  const Energy e = EnergyPerBit{100.0} * Bits{1e9};
+  EXPECT_DOUBLE_EQ(e.nanojoules(), 1e11);
+  EXPECT_DOUBLE_EQ(e.joules(), 100.0);
+}
+
+TEST(Units, EnergyKwh) {
+  EXPECT_DOUBLE_EQ(Energy{3.6e15}.kwh(), 1.0);
+}
+
+TEST(Units, AdditionSubtraction) {
+  const Bits a{10}, b{4};
+  EXPECT_DOUBLE_EQ((a + b).value(), 14.0);
+  EXPECT_DOUBLE_EQ((a - b).value(), 6.0);
+}
+
+TEST(Units, ScalarMultiplyDivide) {
+  EXPECT_DOUBLE_EQ((Bits{10} * 3.0).value(), 30.0);
+  EXPECT_DOUBLE_EQ((2.0 * Bits{10}).value(), 20.0);
+  EXPECT_DOUBLE_EQ((Bits{10} / 4.0).value(), 2.5);
+}
+
+TEST(Units, RatioOfLikeQuantitiesIsDimensionless) {
+  const double ratio = Bits{10} / Bits{4};
+  EXPECT_DOUBLE_EQ(ratio, 2.5);
+}
+
+TEST(Units, CompoundAssignment) {
+  Bits a{1};
+  a += Bits{2};
+  EXPECT_DOUBLE_EQ(a.value(), 3.0);
+  a -= Bits{1};
+  EXPECT_DOUBLE_EQ(a.value(), 2.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Bits{1}, Bits{2});
+  EXPECT_GT(Seconds{3}, Seconds{2});
+  EXPECT_EQ(Bits{5}, Bits{5});
+  EXPECT_GE(EnergyPerBit{2}, EnergyPerBit{2});
+}
+
+TEST(Units, DefaultIsZero) {
+  EXPECT_DOUBLE_EQ(Bits{}.value(), 0.0);
+  EXPECT_DOUBLE_EQ(Energy{}.value(), 0.0);
+}
+
+TEST(Units, Literals) {
+  EXPECT_DOUBLE_EQ((1.5_mbps).value(), 1.5e6);
+  EXPECT_DOUBLE_EQ((10_s).value(), 10.0);
+  EXPECT_DOUBLE_EQ((30_min).value(), 1800.0);
+  EXPECT_DOUBLE_EQ((100_njpb).value(), 100.0);
+  EXPECT_DOUBLE_EQ((8_bits).bytes(), 1.0);
+}
+
+TEST(Units, ConstexprUsable) {
+  constexpr Bits v = BitRate::from_mbps(1.0) * Seconds{8.0};
+  static_assert(v.bytes() == 1e6);
+  EXPECT_DOUBLE_EQ(v.value(), 8e6);
+}
+
+}  // namespace
+}  // namespace cl
