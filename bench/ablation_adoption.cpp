@@ -5,11 +5,13 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "ext/adoption.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cl;
+  bench::Runner run("ablation_adoption", argc, argv);
   bench::banner("Ablation (extension) — incentive-driven participation",
                 "thresholds uniform over [-0.5, 0.5]; seeded at the ~30% "
                 "participation Akamai reports without incentives");
@@ -30,6 +32,11 @@ int main() {
       table.add_row({params.name, label, fmt_pct(result.participation),
                      fmt(result.cct, 3), fmt_pct(result.offload),
                      fmt_pct(result.savings)});
+      if (capacity == 50.0) {
+        run.metrics().set("popular_participation_" + params.name,
+                          result.participation);
+        run.metrics().set("popular_savings_" + params.name, result.savings);
+      }
     }
   }
   table.print(std::cout);
@@ -37,5 +44,5 @@ int main() {
                "swarms are big enough to mint them — the same head/tail "
                "split as every other result; Baliga's larger server saving "
                "funds noticeably more participation than Valancius'.\n";
-  return 0;
+  return run.finish();
 }

@@ -4,19 +4,23 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "ext/edge_cache.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cl;
+  bench::Runner run("ablation_edge_cache", argc, argv);
   bench::banner("Ablation (extension) — exchange-point edge caches",
                 "ψcache = PUE·(γs + γexp/2) + l·γm per bit (documented "
                 "substitution, see ext/edge_cache.h)");
 
-  const TraceConfig config = TraceConfig::london_month_scaled(/*days=*/10);
+  TraceConfig config = TraceConfig::london_month_scaled(/*days=*/10);
+  config.threads = run.threads();
   bench::print_trace_scale(config);
   TraceGenerator gen(config, bench::metro());
   const Trace trace = gen.generate();
+  run.set_items(static_cast<double>(trace.size()) * 9, "sessions");
 
   // Reference: plain hybrid CDN without caches.
   SimConfig sim_config;
@@ -48,6 +52,15 @@ int main() {
         row.push_back(fmt_pct(EdgeCacheSimulator::savings(outcome, params)));
       }
       table.add_row(row);
+      if (capacity == 50u) {
+        const std::string key =
+            std::string("cache50_") + (p2p ? "with" : "no") + "_p2p";
+        run.metrics().set(key + "_hit_rate", outcome.hit_rate());
+        for (const auto& params : standard_params()) {
+          run.metrics().set(key + "_savings_" + params.name,
+                            EdgeCacheSimulator::savings(outcome, params));
+        }
+      }
     }
   }
   table.print(std::cout);
@@ -55,5 +68,5 @@ int main() {
                "savings without any user upload; combined with P2P they "
                "push beyond the plain hybrid because hits bypass the "
                "double-modem cost.\n";
-  return 0;
+  return run.finish();
 }

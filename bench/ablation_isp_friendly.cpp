@@ -5,19 +5,23 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "core/analyzer.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cl;
+  bench::Runner run("ablation_isp_friendly", argc, argv);
   bench::banner("Ablation — ISP-friendly vs cross-ISP swarms",
                 "the paper restricts swarms to one ISP as a lower bound; "
                 "this measures what the restriction costs");
 
-  const TraceConfig config = TraceConfig::london_month_scaled(/*days=*/10);
+  TraceConfig config = TraceConfig::london_month_scaled(/*days=*/10);
+  config.threads = run.threads();
   bench::print_trace_scale(config);
   TraceGenerator gen(config, bench::metro());
   const Trace trace = gen.generate();
+  run.set_items(static_cast<double>(trace.size()) * 2, "sessions");
 
   TextTable table({"setting", "offload G", "S (Valancius)", "S (Baliga)",
                    "cross-ISP share"});
@@ -29,12 +33,16 @@ int main() {
     sim_config.collect_swarms = false;
     const auto result =
         HybridSimulator(bench::metro(), sim_config).run(trace);
+    const std::string setting = isp_friendly ? "isp_friendly" : "cross_isp";
     std::vector<std::string> row{
         isp_friendly ? "ISP-friendly (paper)" : "cross-ISP"};
     row.push_back(fmt_pct(result.total.offload_fraction()));
+    run.metrics().set("offload_" + setting, result.total.offload_fraction());
     for (const auto& params : standard_params()) {
       const EnergyAccountant accountant{CostFunctions(params)};
       row.push_back(fmt_pct(accountant.savings(result.total)));
+      run.metrics().set("savings_" + setting + "_" + params.name,
+                        accountant.savings(result.total));
     }
     row.push_back(fmt_pct(result.total.cross_isp.value() /
                           result.total.total().value()));
@@ -45,5 +53,5 @@ int main() {
                "small ISPs, but the longer peering paths dilute the per-bit "
                "benefit — the paper's ISP-friendly numbers are indeed a "
                "lower bound on G and a near-optimum on energy.\n";
-  return 0;
+  return run.finish();
 }

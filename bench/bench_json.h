@@ -1,0 +1,207 @@
+// bench_json.h — machine-readable benchmark output.
+//
+// Every paper bench accepts:
+//   --json PATH    write a BENCH_<name>.json result file to PATH
+//   --threads N    shard trace generation / analysis (0 = all cores)
+//
+// The JSON file carries the bench name, thread count, wall time, an
+// optional throughput figure (items / items_per_second) and a "metrics"
+// object of key model outputs, so a perf trajectory can be tracked across
+// commits without scraping the human-readable tables.
+//
+// No third-party JSON dependency: the writer below covers exactly the
+// subset needed (objects, arrays of numbers, strings, finite/non-finite
+// doubles) with deterministic formatting.
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/args.h"
+#include "util/error.h"
+#include "util/parallel.h"
+
+namespace cl::bench {
+
+/// Escapes a string for inclusion in a JSON document (quotes included).
+inline std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// Renders a double as a JSON number (round-trip precision); non-finite
+/// values become null, as JSON has no representation for them.
+inline std::string json_number(double x) {
+  if (!std::isfinite(x)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", x);
+  return buf;
+}
+
+/// Insertion-ordered JSON object builder.
+class JsonObject {
+ public:
+  void set(const std::string& key, double value) {
+    put(key, json_number(value));
+  }
+  void set(const std::string& key, std::int64_t value) {
+    put(key, std::to_string(value));
+  }
+  void set(const std::string& key, std::size_t value) {
+    put(key, std::to_string(value));
+  }
+  void set(const std::string& key, const char* value) {
+    put(key, json_quote(value));
+  }
+  void set(const std::string& key, const std::string& value) {
+    put(key, json_quote(value));
+  }
+  void set(const std::string& key, const JsonObject& value) {
+    put(key, value.render());
+  }
+  void set(const std::string& key, const std::vector<double>& values) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i) out += ", ";
+      out += json_number(values[i]);
+    }
+    out += ']';
+    put(key, out);
+  }
+
+  [[nodiscard]] bool empty() const { return fields_.empty(); }
+
+  [[nodiscard]] std::string render() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i) out += ", ";
+      out += json_quote(fields_[i].first) + ": " + fields_[i].second;
+    }
+    out += '}';
+    return out;
+  }
+
+ private:
+  void put(const std::string& key, std::string rendered) {
+    for (auto& field : fields_) {
+      if (field.first == key) {
+        field.second = std::move(rendered);
+        return;
+      }
+    }
+    fields_.emplace_back(key, std::move(rendered));
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Per-bench harness: parses --json/--threads, times the run, collects
+/// key model outputs and writes the BENCH_<name>.json file on finish().
+class Runner {
+ public:
+  Runner(std::string name, int argc, const char* const* argv)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
+    try {
+      const Args args = Args::parse(argc, argv);
+      json_path_ = args.get_or("json", "");
+      const std::int64_t threads = args.get_int("threads", 1);
+      if (threads < 0) throw ParseError("--threads must be >= 0");
+      threads_ = static_cast<unsigned>(threads);
+      // A typo'd flag silently changing an experiment is worse than an
+      // error (same policy as the CLI, see util/args.h).
+      for (const auto& flag : args.unused()) {
+        throw ParseError("unknown flag --" + flag);
+      }
+    } catch (const ParseError& e) {
+      // Bench mains have no try/catch of their own; exit cleanly instead
+      // of letting the exception reach std::terminate.
+      std::cerr << "argument error: " << e.what()
+                << "\nusage: " << name_ << " [--json PATH] [--threads N]\n";
+      std::exit(2);
+    }
+  }
+
+  /// The --threads knob (0 = all cores), for TraceConfig/SimConfig.
+  [[nodiscard]] unsigned threads() const { return threads_; }
+  /// The knob resolved against the actual hardware.
+  [[nodiscard]] unsigned resolved_threads() const {
+    return resolve_threads(threads_);
+  }
+
+  /// Key model outputs of this bench (savings, offload, agreement, ...).
+  [[nodiscard]] JsonObject& metrics() { return metrics_; }
+
+  /// Declares the throughput unit of work (e.g. sessions simulated);
+  /// finish() derives <unit>s-per-second from it.
+  void set_items(double count, std::string unit = "items") {
+    items_ = count;
+    items_unit_ = std::move(unit);
+  }
+
+  /// Stamps the wall time, writes the JSON file when --json was given and
+  /// returns the process exit code.
+  int finish() {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    if (json_path_.empty()) return 0;
+    JsonObject root;
+    root.set("bench", name_);
+    root.set("schema_version", std::int64_t{1});
+    root.set("threads", static_cast<std::int64_t>(resolved_threads()));
+    root.set("wall_seconds", wall);
+    if (items_ > 0) {
+      root.set(items_unit_, items_);
+      root.set(items_unit_ + "_per_second", wall > 0 ? items_ / wall : 0.0);
+    }
+    root.set("metrics", metrics_);
+    std::ofstream out(json_path_);
+    if (!out) {
+      std::cerr << "error: cannot write " << json_path_ << "\n";
+      return 1;
+    }
+    out << root.render() << "\n";
+    std::cout << "\n[bench] wrote " << json_path_ << " (wall "
+              << json_number(wall) << " s, threads " << resolved_threads()
+              << ")\n";
+    return out.good() ? 0 : 1;
+  }
+
+ private:
+  std::string name_;
+  std::string json_path_;
+  unsigned threads_ = 1;
+  double items_ = 0;
+  std::string items_unit_ = "items";
+  JsonObject metrics_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cl::bench

@@ -3,26 +3,37 @@
 // exemplar highly popular / medium / unpopular content items, across the
 // top-5 ISPs, for q/β ∈ {0.2, 0.4, 0.6, 0.8, 1.0}, under both energy
 // parameter sets.
+//
+// The (tier, ISP, q/β) dot grid is 75 independent simulations — the bench
+// shards it across --threads workers and prints the table in grid order
+// afterwards, so the output is identical at any thread count.
+#include <cmath>
+#include <cstddef>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "core/analyzer.h"
 #include "trace/filter.h"
+#include "util/parallel.h"
 #include "util/stats.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cl;
+  bench::Runner run("fig2", argc, argv);
   bench::banner("Fig. 2 — savings vs swarm capacity (theory curve + sim dots)",
                 "paper: popular item saves 35-48% (Valancius) / 24-29% "
                 "(Baliga); unpopular always < 10%");
 
-  const TraceConfig config = TraceConfig::london_month_scaled();
+  TraceConfig config = TraceConfig::london_month_scaled();
+  config.threads = run.threads();
   bench::print_trace_scale(config);
   TraceGenerator gen(config, bench::metro());
 
   const char* tier_names[] = {"popular(100K)", "medium(10K)", "unpopular(1K)"};
-  const double ratios[] = {0.2, 0.4, 0.6, 0.8, 1.0};
+  const std::vector<double> ratios{0.2, 0.4, 0.6, 0.8, 1.0};
 
   // Theory curves, printed once per model over a log capacity grid —
   // these are the black lines of Fig. 2.
@@ -43,21 +54,57 @@ int main() {
   }
 
   // Simulation dots: one dot per (tier, ISP, q/β); compared against the
-  // theory value at the measured capacity.
-  std::vector<double> sim_all, theo_all;
+  // theory value at the measured capacity. Pre-filter the per-(tier, ISP)
+  // traces, then shard the independent dot simulations across workers.
+  const std::size_t isp_count = bench::metro().isp_count();
+  std::vector<Trace> tier_traces;
+  std::vector<std::vector<Trace>> isp_traces(3);
   for (std::uint32_t tier = 0; tier < 3; ++tier) {
-    const Trace content_trace = gen.generate_content(tier);
+    tier_traces.push_back(gen.generate_content(tier));
+    isp_traces[tier].reserve(isp_count);
+    for (std::uint32_t isp = 0; isp < isp_count; ++isp) {
+      isp_traces[tier].push_back(filter_by_isp(tier_traces[tier], isp));
+    }
+  }
+
+  struct Dot {
+    std::uint32_t tier = 0;
+    std::uint32_t isp = 0;
+    double ratio = 0;
+  };
+  std::vector<Dot> jobs;
+  for (std::uint32_t tier = 0; tier < 3; ++tier) {
+    for (std::uint32_t isp = 0; isp < isp_count; ++isp) {
+      for (double ratio : ratios) {
+        jobs.push_back({tier, isp, ratio});
+      }
+    }
+  }
+  std::vector<SwarmExperiment> dots(jobs.size());
+  double sessions_simulated = 0;
+  parallel_shards(jobs.size(), run.threads(),
+                  [&](unsigned, std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) {
+                      const Dot& dot = jobs[i];
+                      SimConfig sim_config;
+                      sim_config.q_over_beta = dot.ratio;
+                      const Analyzer analyzer(bench::metro(), sim_config);
+                      dots[i] = analyzer.analyze_swarm(
+                          isp_traces[dot.tier][dot.isp], dot.isp);
+                    }
+                  });
+
+  std::vector<double> sim_all, theo_all;
+  std::size_t job = 0;
+  for (std::uint32_t tier = 0; tier < 3; ++tier) {
     std::cout << "\n--- " << tier_names[tier] << ": "
-              << content_trace.size() << " sessions/month ---\n";
+              << tier_traces[tier].size() << " sessions/month ---\n";
     TextTable table({"ISP", "q/b", "capacity", "S sim (Val)", "S theo (Val)",
                      "S sim (Bal)", "S theo (Bal)"});
-    for (std::uint32_t isp = 0; isp < bench::metro().isp_count(); ++isp) {
-      const Trace isp_trace = filter_by_isp(content_trace, isp);
+    for (std::uint32_t isp = 0; isp < isp_count; ++isp) {
       for (double ratio : ratios) {
-        SimConfig sim_config;
-        sim_config.q_over_beta = ratio;
-        const Analyzer analyzer(bench::metro(), sim_config);
-        const auto e = analyzer.analyze_swarm(isp_trace, isp);
+        const SwarmExperiment& e = dots[job++];
+        sessions_simulated += static_cast<double>(e.sessions);
         table.add_row({bench::metro().isp(isp).name(), fmt(ratio, 1),
                        fmt(e.capacity, 3), fmt(e.models[0].sim_savings, 4),
                        fmt(e.models[0].theory_savings, 4),
@@ -79,12 +126,28 @@ int main() {
     abs_gap += std::abs(sim_all[i] - theo_all[i]);
   }
   abs_gap /= static_cast<double>(sim_all.size());
+  const double r = pearson(sim_all, theo_all);
   std::cout << "\ntheory-vs-simulation agreement over all " << sim_all.size()
             << " dots:\n"
             << "  mean |S_sim - S_theo| = " << fmt(abs_gap, 4)
-            << " (savings points); pearson r = "
-            << fmt(pearson(sim_all, theo_all), 4) << "\n"
+            << " (savings points); pearson r = " << fmt(r, 4) << "\n"
             << "paper's qualitative claim reproduced: theory curves are a "
                "good approximation of the simulated swarms.\n";
-  return 0;
+
+  // The dot of the paper's headline cell: popular tier, ISP-1, q/b = 1.
+  const SwarmExperiment& headline = dots[ratios.size() - 1];
+  run.metrics().set("dots", sim_all.size());
+  run.metrics().set("mean_abs_gap", abs_gap);
+  run.metrics().set("pearson_r", r);
+  run.metrics().set("popular_isp1_capacity", headline.capacity);
+  run.metrics().set("popular_isp1_sim_savings_valancius",
+                    headline.models[0].sim_savings);
+  run.metrics().set("popular_isp1_theory_savings_valancius",
+                    headline.models[0].theory_savings);
+  run.metrics().set("popular_isp1_sim_savings_baliga",
+                    headline.models[1].sim_savings);
+  run.metrics().set("popular_isp1_theory_savings_baliga",
+                    headline.models[1].theory_savings);
+  run.set_items(sessions_simulated, "sessions");
+  return run.finish();
 }

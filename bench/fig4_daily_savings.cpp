@@ -7,22 +7,28 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "core/analyzer.h"
 #include "util/stats.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cl;
+  bench::Runner run("fig4", argc, argv);
   bench::banner("Fig. 4 — daily aggregate savings per ISP (sim vs theory)",
                 "paper: ~30% (Valancius) / ~18% (Baliga) for the biggest "
                 "ISP, stable across the month");
 
-  const TraceConfig config = TraceConfig::london_month_scaled();
+  TraceConfig config = TraceConfig::london_month_scaled();
+  config.threads = run.threads();
   bench::print_trace_scale(config);
   TraceGenerator gen(config, bench::metro());
   const Trace trace = gen.generate();
+  run.set_items(static_cast<double>(trace.size()), "sessions");
 
-  const Analyzer analyzer(bench::metro(), SimConfig{});
+  SimConfig sim_config;
+  sim_config.threads = run.threads();
+  const Analyzer analyzer(bench::metro(), sim_config);
   const auto report = analyzer.daily_report(trace);
 
   const std::size_t isps[] = {0, 3, 4};  // ISP-1, ISP-4, ISP-5 as in Fig. 4
@@ -51,13 +57,20 @@ int main() {
       }
       const auto sim_summary = summarize(sim_series);
       const auto theo_summary = summarize(theo_series);
+      const double mare = mean_abs_relative_error(sim_series, theo_series);
       std::cout << "  " << bench::metro().isp(isp).name() << ": sim "
                 << fmt_pct(sim_summary.mean) << " (min "
                 << fmt_pct(sim_summary.min) << ", max "
                 << fmt_pct(sim_summary.max) << "), theory "
                 << fmt_pct(theo_summary.mean) << ", MARE "
-                << fmt_pct(mean_abs_relative_error(sim_series, theo_series))
-                << "\n";
+                << fmt_pct(mare) << "\n";
+      if (isp == 0) {
+        run.metrics().set("isp1_mean_sim_savings_" + report.models[m],
+                          sim_summary.mean);
+        run.metrics().set("isp1_mean_theory_savings_" + report.models[m],
+                          theo_summary.mean);
+        run.metrics().set("isp1_mare_" + report.models[m], mare);
+      }
     }
   }
 
@@ -68,6 +81,9 @@ int main() {
     std::cout << "  " << o.model << ": sim " << fmt_pct(o.sim_savings)
               << ", theory " << fmt_pct(o.theory_savings) << ", offload G = "
               << fmt_pct(o.offload) << "\n";
+    run.metrics().set("system_sim_savings_" + o.model, o.sim_savings);
+    run.metrics().set("system_theory_savings_" + o.model, o.theory_savings);
+    run.metrics().set("system_offload_" + o.model, o.offload);
   }
-  return 0;
+  return run.finish();
 }

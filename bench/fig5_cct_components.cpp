@@ -8,13 +8,15 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "core/planner.h"
 #include "model/carbon_credit.h"
 #include "model/savings.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cl;
+  bench::Runner run("fig5", argc, argv);
   bench::banner("Fig. 5 — component savings vs swarm capacity",
                 "paper: users end at +18% (Valancius) / +58% (Baliga) "
                 "carbon positive as G -> 1");
@@ -43,6 +45,13 @@ int main() {
               << fmt(planner.carbon_neutral_capacity(1.0), 1) << "\n"
               << "  end-to-end savings ceiling: "
               << fmt_pct(model.savings_ceiling(1.0)) << "\n";
+    run.metrics().set("cct_ceiling_" + params.name, cct_ceiling(params));
+    run.metrics().set("carbon_neutral_offload_" + params.name,
+                      carbon_neutral_offload(params));
+    run.metrics().set("carbon_neutral_capacity_" + params.name,
+                      planner.carbon_neutral_capacity(1.0));
+    run.metrics().set("savings_ceiling_" + params.name,
+                      model.savings_ceiling(1.0));
   }
-  return 0;
+  return run.finish();
 }

@@ -8,25 +8,32 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "core/analyzer.h"
 #include "core/carbon_ledger.h"
 #include "core/report.h"
 #include "util/histogram.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cl;
+  bench::Runner run("fig6", argc, argv);
   bench::banner("Fig. 6 — per-user carbon credit transfer CDF",
                 "paper: ~41% carbon positive (Valancius), >70% (Baliga)");
 
-  const TraceConfig config = TraceConfig::london_month_scaled();
+  TraceConfig config = TraceConfig::london_month_scaled();
+  config.threads = run.threads();
   bench::print_trace_scale(config);
   TraceGenerator gen(config, bench::metro());
   const Trace trace = gen.generate();
+  run.set_items(static_cast<double>(trace.size()), "sessions");
 
-  const Analyzer analyzer(bench::metro(), SimConfig{});
+  SimConfig sim_config;
+  sim_config.threads = run.threads();
+  const Analyzer analyzer(bench::metro(), sim_config);
   const SimResult result = analyzer.simulate(trace);
   std::cout << "users simulated: " << result.users.size() << "\n";
+  run.metrics().set("users_simulated", result.users.size());
 
   for (const auto& params : analyzer.models()) {
     const CarbonLedger ledger(result, params);
@@ -45,5 +52,11 @@ int main() {
             << fmt_pct(valancius.fraction_carbon_free()) << " (paper ~41%), "
             << "Baliga " << fmt_pct(baliga.fraction_carbon_free())
             << " (paper >70%)\n";
-  return 0;
+  run.metrics().set("carbon_free_users_Valancius",
+                    valancius.fraction_carbon_free());
+  run.metrics().set("carbon_free_users_Baliga",
+                    baliga.fraction_carbon_free());
+  run.metrics().set("median_cct_Valancius", valancius.median_cct());
+  run.metrics().set("median_cct_Baliga", baliga.median_cct());
+  return run.finish();
 }

@@ -1,0 +1,42 @@
+# run_benches.cmake — cmake -P driver that executes every paper bench with
+# --json and collects the BENCH_<name>.json files in one directory.
+#
+# Invoked by the `bench_json` custom target with:
+#   -DBENCH_DIR=<dir containing the bench executables>
+#   -DOUT_DIR=<output directory for the json files>
+#   -DBENCHES=<comma-separated bench target names>
+#   -DTHREADS=<optional --threads value; empty = bench default>
+if(NOT BENCH_DIR OR NOT OUT_DIR OR NOT BENCHES)
+  message(FATAL_ERROR "run_benches.cmake needs -DBENCH_DIR, -DOUT_DIR and -DBENCHES")
+endif()
+
+string(REPLACE "," ";" bench_list "${BENCHES}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+set(failed "")
+foreach(bench IN LISTS bench_list)
+  # Short artefact name: fig2_savings_vs_capacity -> fig2 (ablations keep
+  # their full name).
+  string(REGEX REPLACE "^((fig|table)[0-9]+)_.*$" "\\1" short "${bench}")
+  set(json "${OUT_DIR}/BENCH_${short}.json")
+  set(cmd "${BENCH_DIR}/${bench}" --json "${json}")
+  # Plain if(THREADS) would treat the meaningful value 0 (= all cores)
+  # as "flag absent".
+  if(DEFINED THREADS AND NOT THREADS STREQUAL "")
+    list(APPEND cmd --threads "${THREADS}")
+  endif()
+  message(STATUS "running ${bench} -> ${json}")
+  execute_process(COMMAND ${cmd}
+    RESULT_VARIABLE code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(WARNING "${bench} failed (exit ${code}):\n${err}")
+    list(APPEND failed "${bench}")
+  endif()
+endforeach()
+
+if(failed)
+  message(FATAL_ERROR "benches failed: ${failed}")
+endif()
+message(STATUS "all bench JSON written to ${OUT_DIR}")

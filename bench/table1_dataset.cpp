@@ -7,12 +7,14 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "core/report.h"
 #include "trace/trace_stats.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cl;
+  bench::Runner run("table1", argc, argv);
   bench::banner("Table I — dataset description",
                 "paper: Sep 2013 = 3.3M users / 1.5M IPs / 23.5M sessions; "
                 "Jul 2014 = 3.6M / 1.6M / 24.2M (scaled here ~1:55)");
@@ -27,6 +29,7 @@ int main() {
     config.seed = seed;
     // Jul 2014 is ~6-9 % bigger in every Table I row.
     config.users = static_cast<std::uint32_t>(config.users * scale);
+    config.threads = run.threads();
     for (auto& v : config.exemplar_views) v *= scale;
     config.tail_views *= scale;
     TraceGenerator gen(config, bench::metro());
@@ -48,15 +51,25 @@ int main() {
   std::cout << "\nDetailed month statistics (Sep 2013 synthetic):\n";
   print_trace_stats(std::cout, stats[0], spans[0]);
 
+  const double ip_ratio = static_cast<double>(stats[0].distinct_households) /
+                          static_cast<double>(stats[0].distinct_users);
+  const double sessions_per_user =
+      static_cast<double>(stats[0].sessions) /
+      static_cast<double>(stats[0].distinct_users);
   std::cout << "\npaper-vs-ours (ratios that must hold):\n"
             << "  IPs/users paper 1.5/3.3 = 0.45 ; ours = "
-            << fmt(static_cast<double>(stats[0].distinct_households) /
-                       static_cast<double>(stats[0].distinct_users),
-                   2)
+            << fmt(ip_ratio, 2)
             << "\n  sessions/user paper 23.5/3.3 = 7.1 ; ours = "
-            << fmt(static_cast<double>(stats[0].sessions) /
-                       static_cast<double>(stats[0].distinct_users),
-                   1)
-            << "\n";
-  return 0;
+            << fmt(sessions_per_user, 1) << "\n";
+  run.metrics().set("sep2013_users", stats[0].distinct_users);
+  run.metrics().set("sep2013_ips", stats[0].distinct_households);
+  run.metrics().set("sep2013_sessions", stats[0].sessions);
+  run.metrics().set("jul2014_users", stats[1].distinct_users);
+  run.metrics().set("jul2014_ips", stats[1].distinct_households);
+  run.metrics().set("jul2014_sessions", stats[1].sessions);
+  run.metrics().set("ips_per_user", ip_ratio);
+  run.metrics().set("sessions_per_user", sessions_per_user);
+  run.set_items(static_cast<double>(stats[0].sessions + stats[1].sessions),
+                "sessions");
+  return run.finish();
 }

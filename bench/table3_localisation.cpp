@@ -4,10 +4,12 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cl;
+  bench::Runner run("table3", argc, argv);
   bench::banner("Table III — localisation probabilities",
                 "paper (ISP-1): ExP 345 nodes -> 0.29%; PoP 9 -> 11.11%; "
                 "core 1 -> 100%");
@@ -35,5 +37,11 @@ int main() {
                   fmt_pct(l.pop, 2)});
   }
   isps.print(std::cout);
-  return 0;
+  run.metrics().set("isp1_exchange_points",
+                    static_cast<std::int64_t>(topo.exchange_points()));
+  run.metrics().set("isp1_pops", static_cast<std::int64_t>(topo.pops()));
+  run.metrics().set("isp1_p_exp", loc.exp);
+  run.metrics().set("isp1_p_pop", loc.pop);
+  run.metrics().set("isp1_p_core", loc.core);
+  return run.finish();
 }

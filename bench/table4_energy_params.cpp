@@ -4,11 +4,13 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "energy/cost_functions.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cl;
+  bench::Runner run("table4", argc, argv);
   bench::banner("Table IV — energy parameters (nJ/bit)",
                 "paper values reproduced exactly; derived ψ rows added");
 
@@ -54,12 +56,17 @@ int main() {
   std::cout << "\nper-bit P2P-vs-server verdict (the paper's core trade-off):\n";
   for (const auto& params : standard_params()) {
     const CostFunctions costs(params);
+    run.metrics().set("psi_server_" + params.name,
+                      costs.psi_server().value());
     for (auto level : kAllLocalityLevels) {
       std::cout << "  " << params.name << " @ " << to_string(level) << ": "
                 << (costs.peer_wins(level) ? "peer wins" : "server wins")
                 << " (" << fmt(costs.psi_peer(level).value(), 1) << " vs "
                 << fmt(costs.psi_server().value(), 1) << " nJ/bit)\n";
+      run.metrics().set(
+          "psi_peer_" + params.name + "_" + std::string(to_string(level)),
+          costs.psi_peer(level).value());
     }
   }
-  return 0;
+  return run.finish();
 }

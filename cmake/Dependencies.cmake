@@ -1,0 +1,43 @@
+# Dependencies.cmake — resolve GTest and google-benchmark.
+#
+# Preference order: system packages (Debian libgtest-dev / libbenchmark-dev
+# both ship CMake configs), then a FetchContent fallback for hosts without
+# them. The fallback needs network access at configure time; offline hosts
+# should install the system packages instead.
+include(FetchContent)
+
+# Tests without pthread-ridden surprises on Linux.
+set(FETCHCONTENT_QUIET ON)
+
+if(CL_BUILD_TESTS)
+  find_package(GTest QUIET)
+  if(NOT GTest_FOUND)
+    message(STATUS "System GTest not found — falling back to FetchContent")
+    FetchContent_Declare(googletest
+      URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+      URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
+      DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+    # Never install gtest alongside the project.
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    FetchContent_MakeAvailable(googletest)
+    if(NOT TARGET GTest::gtest_main)
+      add_library(GTest::gtest_main ALIAS gtest_main)
+      add_library(GTest::gtest ALIAS gtest)
+    endif()
+  endif()
+  include(GoogleTest)
+endif()
+
+if(CL_BUILD_BENCHES)
+  find_package(benchmark QUIET)
+  if(NOT benchmark_FOUND)
+    message(STATUS "System google-benchmark not found — falling back to FetchContent")
+    FetchContent_Declare(benchmark
+      URL https://github.com/google/benchmark/archive/refs/tags/v1.8.3.tar.gz
+      URL_HASH SHA256=6bc180a57d23d4d9515519f92b0c83d61b05b5bab188961f36ac7b06b0d9e9ce
+      DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+    set(BENCHMARK_ENABLE_TESTING OFF CACHE BOOL "" FORCE)
+    set(BENCHMARK_ENABLE_INSTALL OFF CACHE BOOL "" FORCE)
+    FetchContent_MakeAvailable(benchmark)
+  endif()
+endif()

@@ -18,6 +18,14 @@ inline const Metro& metro() {
   return m;
 }
 
+/// Shared --threads knob: worker threads for sharded generation/analysis
+/// (0 = all hardware threads; results are bit-identical at any value).
+inline unsigned threads_from(const Args& args) {
+  const std::int64_t threads = args.get_int("threads", 1);
+  if (threads < 0) throw ParseError("--threads must be >= 0");
+  return static_cast<unsigned>(threads);
+}
+
 /// Loads --trace PATH, or generates a scaled synthetic month when the
 /// flag is absent (--days / --seed apply to the generated fallback).
 inline Trace load_or_generate(const Args& args) {
@@ -28,6 +36,7 @@ inline Trace load_or_generate(const Args& args) {
       TraceConfig::london_month_scaled(args.get_double("days", 10));
   config.seed = static_cast<std::uint64_t>(
       args.get_int("seed", static_cast<std::int64_t>(config.seed)));
+  config.threads = threads_from(args);
   std::cout << "(no --trace given: generating a scaled synthetic month, "
             << config.days << " days, seed " << config.seed << ")\n";
   return TraceGenerator(config, metro()).generate();
@@ -37,6 +46,7 @@ inline Trace load_or_generate(const Args& args) {
 inline SimConfig sim_config_from(const Args& args) {
   SimConfig config;
   config.q_over_beta = args.get_double("qb", 1.0);
+  config.threads = threads_from(args);
   config.isp_friendly = !args.has("cross-isp");
   config.split_by_bitrate = !args.has("mixed-bitrate");
   const std::string matcher = args.get_or("matcher", "existence");

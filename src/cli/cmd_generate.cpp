@@ -1,6 +1,7 @@
 // cmd_generate — synthesise a workload trace and write it as CSV.
 #include <iostream>
 
+#include "cli/cli_common.h"
 #include "cli/commands.h"
 #include "core/report.h"
 #include "topology/placement.h"
@@ -32,6 +33,7 @@ TraceConfig preset_config(const Args& args) {
       args.get_int("seed", static_cast<std::int64_t>(config.seed)));
   config.users = static_cast<std::uint32_t>(
       args.get_int("users", static_cast<std::int64_t>(config.users)));
+  config.threads = threads_from(args);
   return config;
 }
 

@@ -30,9 +30,10 @@ usage: consumelocal COMMAND [flags]
 
 commands:
   generate  --out PATH [--preset london|small] [--days N] [--seed S]
-            [--users N]           write a synthetic workload trace (CSV)
+            [--users N] [--threads N]
+                                  write a synthetic workload trace (CSV)
   simulate  [--trace PATH] [--qb R] [--cross-isp] [--mixed-bitrate]
-            [--matcher existence|capacity]
+            [--matcher existence|capacity] [--threads N]
                                   aggregate hybrid-vs-CDN savings report
   swarm     [--trace PATH] --content ID [--isp I] [--qb R]
                                   one swarm, simulation vs closed form
@@ -44,7 +45,8 @@ commands:
                                   per-user carbon credit ledger
 
 Commands that accept --trace generate a scaled synthetic London month when
-the flag is omitted.
+the flag is omitted. --threads N shards trace generation and analysis
+across N workers (0 = all cores); results are bit-identical at any N.
 )";
   return exit_code;
 }

@@ -10,13 +10,14 @@ namespace cl::cli {
 
 /// `generate` — write a synthetic trace CSV.
 ///   --out PATH (required), --days N, --seed S, --users N,
-///   --preset london|small
+///   --preset london|small, --threads N (sharded generation)
 int cmd_generate(const Args& args);
 
 /// `simulate` — run the hybrid-CDN simulator over a trace and print the
 /// aggregate savings report.
 ///   --trace PATH (required; or --preset to self-generate), --qb R,
-///   --cross-isp, --mixed-bitrate, --matcher existence|capacity
+///   --cross-isp, --mixed-bitrate, --matcher existence|capacity,
+///   --threads N (sharded generation/analysis)
 int cmd_simulate(const Args& args);
 
 /// `swarm` — analyze one content swarm: sim vs theory (a Fig. 2 dot).

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <unordered_map>
+#include <utility>
 
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace cl {
 
@@ -83,13 +85,24 @@ std::vector<std::vector<std::vector<double>>> Analyzer::theory_daily(
   const std::size_t isps = metro_->isp_count();
 
   // Pass 1: watch-seconds per (swarm, day) -> per-swarm daily capacity.
-  std::unordered_map<KeyDay, double, KeyDayHash> watch;
-  watch.reserve(trace.sessions.size());
-  for (const auto& s : trace.sessions) {
-    const SwarmKey key = swarm_key_for(s, sim_config_);
-    const auto day = static_cast<std::uint32_t>(s.start / 86400.0);
-    watch[KeyDay{key.packed(), day}] += s.duration;
-  }
+  // Sharded fixed-chunk reduction: each chunk builds a private map, chunks
+  // merge in chunk order, so every key's sum sees its contributions in the
+  // same order regardless of SimConfig::threads.
+  using WatchMap = std::unordered_map<KeyDay, double, KeyDayHash>;
+  const WatchMap watch = parallel_chunked_reduce(
+      trace.sessions.size(), sim_config_.threads,
+      [] { return WatchMap{}; },
+      [&](WatchMap& acc, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& s = trace.sessions[i];
+          const SwarmKey key = swarm_key_for(s, sim_config_);
+          const auto day = static_cast<std::uint32_t>(s.start / 86400.0);
+          acc[KeyDay{key.packed(), day}] += s.duration;
+        }
+      },
+      [](WatchMap& total, const WatchMap& chunk) {
+        for (const auto& [key, seconds] : chunk) total[key] += seconds;
+      });
 
   // Pre-built closed-form models per (energy column, ISP tree).
   std::vector<std::vector<SavingsModel>> model_grid;
@@ -103,23 +116,50 @@ std::vector<std::vector<std::vector<double>>> Analyzer::theory_daily(
     model_grid.push_back(std::move(row));
   }
 
-  // Pass 2: volume-weighted Eq. 12 per (model, day, isp).
-  std::vector num(models_.size(),
-                  std::vector(days, std::vector<double>(isps, 0.0)));
-  std::vector den(days, std::vector<double>(isps, 0.0));
-  for (const auto& s : trace.sessions) {
-    const SwarmKey key = swarm_key_for(s, sim_config_);
-    const auto day = static_cast<std::uint32_t>(s.start / 86400.0);
-    const double capacity =
-        watch.at(KeyDay{key.packed(), day}) / 86400.0;
-    const double volume = s.volume().value();
-    den[day][s.isp] += volume;
-    for (std::size_t m = 0; m < models_.size(); ++m) {
-      const double savings = model_grid[m][s.isp].savings(
-          capacity, sim_config_.q_over_beta);
-      num[m][day][s.isp] += savings * volume;
-    }
-  }
+  // Pass 2: volume-weighted Eq. 12 per (model, day, isp), sharded with the
+  // same deterministic chunk-order merge as pass 1.
+  struct DailyGrid {
+    std::vector<std::vector<std::vector<double>>> num;
+    std::vector<std::vector<double>> den;
+  };
+  auto [num, den] = parallel_chunked_reduce(
+      trace.sessions.size(), sim_config_.threads,
+      [&] {
+        return DailyGrid{
+            std::vector(models_.size(),
+                        std::vector(days, std::vector<double>(isps, 0.0))),
+            std::vector(days, std::vector<double>(isps, 0.0))};
+      },
+      [&](DailyGrid& acc, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& s = trace.sessions[i];
+          const SwarmKey key = swarm_key_for(s, sim_config_);
+          const auto day = static_cast<std::uint32_t>(s.start / 86400.0);
+          const double capacity =
+              watch.at(KeyDay{key.packed(), day}) / 86400.0;
+          const double volume = s.volume().value();
+          acc.den[day][s.isp] += volume;
+          for (std::size_t m = 0; m < models_.size(); ++m) {
+            const double savings = model_grid[m][s.isp].savings(
+                capacity, sim_config_.q_over_beta);
+            acc.num[m][day][s.isp] += savings * volume;
+          }
+        }
+      },
+      [&](DailyGrid& total, const DailyGrid& chunk) {
+        for (std::size_t m = 0; m < models_.size(); ++m) {
+          for (std::size_t d = 0; d < days; ++d) {
+            for (std::size_t i = 0; i < isps; ++i) {
+              total.num[m][d][i] += chunk.num[m][d][i];
+            }
+          }
+        }
+        for (std::size_t d = 0; d < days; ++d) {
+          for (std::size_t i = 0; i < isps; ++i) {
+            total.den[d][i] += chunk.den[d][i];
+          }
+        }
+      });
   for (std::size_t m = 0; m < models_.size(); ++m) {
     for (std::size_t d = 0; d < days; ++d) {
       for (std::size_t i = 0; i < isps; ++i) {
@@ -155,19 +195,44 @@ SwarmDistributions Analyzer::swarm_distributions(const Trace& trace) const {
   const SimResult result = HybridSimulator(*metro_, config).run(trace);
 
   SwarmDistributions dist;
-  dist.capacities.reserve(result.swarms.size());
+  const std::size_t swarms = result.swarms.size();
+  dist.capacities.reserve(swarms);
   for (const auto& swarm : result.swarms) {
     dist.capacities.push_back(swarm.capacity);
   }
   for (const auto& params : models_) {
     dist.models.push_back(params.name);
     const EnergyAccountant accountant{CostFunctions(params)};
-    std::vector<double> savings;
-    savings.reserve(result.swarms.size());
-    for (const auto& swarm : result.swarms) {
-      savings.push_back(swarm_savings(swarm, accountant));
-    }
+    // Per-swarm savings are independent: sharded indexed writes into a
+    // pre-sized vector (deterministic for every thread count).
+    std::vector<double> savings(swarms, 0.0);
+    parallel_shards(swarms, sim_config_.threads,
+                    [&](unsigned, std::size_t begin, std::size_t end) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        savings[i] =
+                            swarm_savings(result.swarms[i], accountant);
+                      }
+                    });
     dist.savings.push_back(std::move(savings));
+  }
+
+  // Streaming summaries via the fixed-chunk RunningStats::merge reduction;
+  // chunk boundaries depend only on the swarm count, so the merged stats
+  // are bit-identical for every SimConfig::threads value.
+  const auto running_reduce = [&](const std::vector<double>& xs) {
+    return parallel_chunked_reduce(
+        xs.size(), sim_config_.threads, [] { return RunningStats{}; },
+        [&](RunningStats& acc, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) acc.add(xs[i]);
+        },
+        [](RunningStats& total, const RunningStats& chunk) {
+          total.merge(chunk);
+        });
+  };
+  dist.capacity_stats = running_reduce(dist.capacities);
+  dist.savings_stats.reserve(dist.savings.size());
+  for (const auto& series : dist.savings) {
+    dist.savings_stats.push_back(running_reduce(series));
   }
   return dist;
 }
@@ -189,19 +254,33 @@ std::vector<AggregateOutcome> Analyzer::aggregate(const Trace& trace) const {
     outcome.baseline_energy = accountant.baseline(result.total.total()).total();
     outcome.hybrid_energy = accountant.hybrid(result.total).total();
 
-    double num = 0, den = 0;
     std::vector<SavingsModel> per_isp;
     for (std::size_t i = 0; i < metro_->isp_count(); ++i) {
       per_isp.emplace_back(models_[m], metro_->isp(i));
     }
-    for (const auto& swarm : result.swarms) {
-      const double volume = swarm.traffic.total().value();
-      if (volume <= 0) continue;
-      const std::size_t isp = swarm.key.has_isp() ? swarm.key.isp : 0;
-      num += per_isp[isp].savings(swarm.capacity, sim_config_.q_over_beta) *
-             volume;
-      den += volume;
-    }
+    // Volume-weighted Eq. 12 across swarms, sharded with a deterministic
+    // fixed-chunk merge (num/den pair accumulator).
+    const auto [num, den] = parallel_chunked_reduce(
+        result.swarms.size(), sim_config_.threads,
+        [] { return std::pair<double, double>{0.0, 0.0}; },
+        [&](std::pair<double, double>& acc, std::size_t begin,
+            std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const auto& swarm = result.swarms[i];
+            const double volume = swarm.traffic.total().value();
+            if (volume <= 0) continue;
+            const std::size_t isp = swarm.key.has_isp() ? swarm.key.isp : 0;
+            acc.first += per_isp[isp].savings(swarm.capacity,
+                                              sim_config_.q_over_beta) *
+                         volume;
+            acc.second += volume;
+          }
+        },
+        [](std::pair<double, double>& total,
+           const std::pair<double, double>& chunk) {
+          total.first += chunk.first;
+          total.second += chunk.second;
+        });
     outcome.theory_savings = den > 0 ? num / den : 0.0;
     outcomes.push_back(std::move(outcome));
   }

@@ -22,6 +22,7 @@
 #include "sim/metrics.h"
 #include "topology/placement.h"
 #include "trace/session.h"
+#include "util/stats.h"
 
 namespace cl {
 
@@ -54,6 +55,12 @@ struct SwarmDistributions {
   /// savings[model][swarm] — simulated per-swarm savings.
   std::vector<std::vector<double>> savings;
   std::vector<std::string> models;
+
+  /// Streaming summaries of the vectors above, computed by a sharded
+  /// fixed-chunk RunningStats::merge reduction — bit-identical for every
+  /// SimConfig::threads value.
+  RunningStats capacity_stats;
+  std::vector<RunningStats> savings_stats;  ///< one per model
 };
 
 /// Whole-trace headline numbers under one energy model.

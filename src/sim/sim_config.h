@@ -43,6 +43,12 @@ struct SimConfig {
 
   MatcherKind matcher = MatcherKind::kExistence;
 
+  /// Worker threads for the analyzer's sharded reductions (per-swarm
+  /// savings, daily theory aggregation). 0 = all hardware threads. The
+  /// reductions use fixed-chunk merges (util/parallel.h), so results are
+  /// bit-identical for every value of this knob.
+  unsigned threads = 1;
+
   // --- metric collection toggles (cost only, results identical) ---
   bool collect_swarms = true;    ///< per-swarm results (Figs. 2, 3)
   bool collect_per_user = true;  ///< per-user up/down bytes (Fig. 6)

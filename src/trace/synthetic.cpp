@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace cl {
 
@@ -98,12 +99,32 @@ TraceGenerator::TraceGenerator(TraceConfig config, const Metro& metro)
                                            config_.bitrate_mix.end())) {}
 
 Trace TraceGenerator::generate() {
+  // Contents are sharded across workers; every content item keeps its own
+  // deterministically seeded RNG stream, so a shard's output depends only
+  // on which contents it covers. Shards cover ascending contiguous id
+  // ranges, so concatenating per-shard vectors in shard order reproduces
+  // the sequential content-id order exactly — the generated trace is
+  // bit-identical for every thread count.
+  const unsigned threads = resolve_threads(config_.threads, catalogue_.size());
+  std::vector<std::vector<SessionRecord>> shard_sessions(threads);
+  parallel_shards(
+      catalogue_.size(), threads,
+      [&](unsigned shard, std::size_t begin, std::size_t end) {
+        auto& out = shard_sessions[shard];
+        out.reserve(static_cast<std::size_t>(
+            catalogue_.total_views() * config_.days / 30.0 * 1.1 /
+            static_cast<double>(threads)));
+        for (std::size_t id = begin; id < end; ++id) {
+          Rng rng(config_.seed ^ (0x517cc1b727220a95ULL * (id + 1)));
+          append_content_sessions(static_cast<std::uint32_t>(id), rng, out);
+        }
+      });
   std::vector<SessionRecord> sessions;
-  sessions.reserve(static_cast<std::size_t>(
-      catalogue_.total_views() * config_.days / 30.0 * 1.1));
-  for (std::uint32_t id = 0; id < catalogue_.size(); ++id) {
-    Rng rng(config_.seed ^ (0x517cc1b727220a95ULL * (id + 1)));
-    append_content_sessions(id, rng, sessions);
+  std::size_t total = 0;
+  for (const auto& shard : shard_sessions) total += shard.size();
+  sessions.reserve(total);
+  for (auto& shard : shard_sessions) {
+    sessions.insert(sessions.end(), shard.begin(), shard.end());
   }
   std::sort(sessions.begin(), sessions.end(),
             [](const SessionRecord& a, const SessionRecord& b) {

@@ -35,6 +35,12 @@ struct TraceConfig {
   std::uint64_t seed = 20130901;  ///< master seed (epoch of the paper trace)
   double days = 30;               ///< trace span in days
 
+  /// Worker threads for generate(): content items are sharded across
+  /// workers, each with its own deterministic per-content RNG stream, and
+  /// recombined in content-id order — the resulting trace is bit-identical
+  /// for every thread count. 0 = all hardware threads.
+  unsigned threads = 1;
+
   std::uint32_t users = 60000;     ///< population (scaled-down London)
   double households_ratio = 0.45;  ///< IP addresses per user (Table I)
   double user_activity_sigma = 1.0;  ///< log-normal skew of per-user demand

@@ -1,0 +1,153 @@
+// parallel.h — deterministic sharded execution over index ranges.
+//
+// The project's parallelism contract is *bit-identical results for every
+// thread count*, so experiments stay reproducible when scaled out:
+//
+//  * parallel_shards splits [0, n) into one contiguous chunk per worker.
+//    Shard boundaries depend on the thread count, so callers must only use
+//    it where results are recombined in index order (e.g. the trace
+//    generator concatenates per-shard session vectors in shard order,
+//    which equals content-id order for contiguous shards).
+//
+//  * parallel_chunked_reduce splits [0, n) into fixed-size chunks whose
+//    boundaries depend only on n, hands chunks to workers, and merges the
+//    per-chunk accumulators in ascending chunk order. Floating-point
+//    reductions (RunningStats::merge, Kahan-free sums) therefore produce
+//    the same bits at --threads 1 and --threads 64.
+//
+// Exceptions thrown inside workers are captured and rethrown on the
+// calling thread (first one wins).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace cl {
+
+/// Resolves a thread-count knob: 0 means "use all hardware threads".
+/// Explicit values are capped at max(4 × hardware threads, 16) — past
+/// that oversubscription only burns memory on stacks, and an absurd
+/// request (--threads 100000) must not crash the process — and clamped
+/// to [1, n] when n > 0.
+[[nodiscard]] inline unsigned resolve_threads(unsigned requested,
+                                              std::size_t n = 0) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  unsigned t = requested == 0 ? hw : requested;
+  t = std::min(t, std::max(hw * 4, 16u));
+  if (n > 0) {
+    t = static_cast<unsigned>(
+        std::min<std::size_t>(t, std::max<std::size_t>(1, n)));
+  }
+  return std::max(1u, t);
+}
+
+namespace detail {
+
+/// Runs fn on `workers` std::threads (the calling thread doubles as
+/// worker 0), propagating the first exception.
+template <typename Fn>
+void run_workers(unsigned workers, Fn&& fn) {
+  if (workers <= 1) {
+    fn(0u);
+    return;
+  }
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  auto guarded = [&](unsigned worker) {
+    try {
+      fn(worker);
+    } catch (...) {
+      const std::lock_guard lock(error_mutex);
+      if (!error) error = std::current_exception();
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  try {
+    for (unsigned w = 1; w < workers; ++w) {
+      pool.emplace_back(guarded, w);
+    }
+  } catch (...) {
+    // Thread creation failed (resource exhaustion): join what started —
+    // joinable std::thread destructors would otherwise std::terminate.
+    for (auto& t : pool) t.join();
+    throw;
+  }
+  guarded(0u);
+  for (auto& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace detail
+
+/// Splits [0, n) into one contiguous half-open range per shard and calls
+/// fn(shard, begin, end) concurrently on `threads` workers. Shard `s`
+/// covers indices [s*n/T, (s+1)*n/T), so ranges ascend with the shard
+/// index — recombining per-shard output in shard order preserves the
+/// sequential index order.
+template <typename Fn>
+void parallel_shards(std::size_t n, unsigned threads, Fn&& fn) {
+  const unsigned t = resolve_threads(threads, n);
+  if (n == 0) return;
+  if (t <= 1) {
+    fn(0u, std::size_t{0}, n);
+    return;
+  }
+  detail::run_workers(t, [&](unsigned shard) {
+    const std::size_t begin = n * shard / t;
+    const std::size_t end = n * (shard + 1) / t;
+    if (begin < end) fn(shard, begin, end);
+  });
+}
+
+/// Default chunk length of parallel_chunked_reduce. Small enough to load-
+/// balance skewed work, large enough to amortise the merge.
+inline constexpr std::size_t kReduceChunk = 2048;
+
+/// Deterministic parallel reduction over [0, n).
+///
+/// The range is cut into fixed-length chunks (boundaries depend only on n,
+/// never on the thread count). Workers grab chunks from a shared atomic
+/// cursor and fold each with `chunk_fn(acc, begin, end)` into a fresh
+/// accumulator from `make_acc()`; afterwards the per-chunk accumulators
+/// are folded with `merge(total, chunk_acc)` in ascending chunk order on
+/// the calling thread. The merged result is therefore bit-identical for
+/// every thread count, including 1.
+template <typename MakeAcc, typename ChunkFn, typename Merge>
+auto parallel_chunked_reduce(std::size_t n, unsigned threads,
+                             MakeAcc&& make_acc, ChunkFn&& chunk_fn,
+                             Merge&& merge,
+                             std::size_t chunk_len = kReduceChunk) {
+  using Acc = decltype(make_acc());
+  Acc total = make_acc();
+  if (n == 0) return total;
+  chunk_len = std::max<std::size_t>(1, chunk_len);
+  const std::size_t chunks = (n + chunk_len - 1) / chunk_len;
+  std::vector<Acc> partial;
+  partial.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) partial.push_back(make_acc());
+
+  const unsigned t = resolve_threads(threads, chunks);
+  std::atomic<std::size_t> cursor{0};
+  detail::run_workers(t, [&](unsigned) {
+    for (std::size_t c = cursor.fetch_add(1, std::memory_order_relaxed);
+         c < chunks;
+         c = cursor.fetch_add(1, std::memory_order_relaxed)) {
+      const std::size_t begin = c * chunk_len;
+      const std::size_t end = std::min(n, begin + chunk_len);
+      chunk_fn(partial[c], begin, end);
+    }
+  });
+  for (std::size_t c = 0; c < chunks; ++c) {
+    merge(total, partial[c]);
+  }
+  return total;
+}
+
+}  // namespace cl

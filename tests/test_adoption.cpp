@@ -113,8 +113,8 @@ TEST(Adoption, RejectsBadInput) {
   AdoptionConfig config;  // empty thresholds
   EXPECT_THROW(model.solve(config), InvalidArgument);
   config.uniform_thresholds(10, 0, 1);
-  EXPECT_THROW(model.cct_at(1.5, config), InvalidArgument);
-  EXPECT_THROW(AdoptionModel::willing_fraction(0.0, {}), InvalidArgument);
+  EXPECT_THROW((void)model.cct_at(1.5, config), InvalidArgument);
+  EXPECT_THROW((void)AdoptionModel::willing_fraction(0.0, {}), InvalidArgument);
 }
 
 }  // namespace

@@ -59,9 +59,9 @@ TEST(Args, RejectsStrayPositional) {
 
 TEST(Args, RejectsNonNumeric) {
   const Args args({"x", "--qb", "fast"}, {});
-  EXPECT_THROW(args.get_double("qb", 1.0), ParseError);
+  EXPECT_THROW((void)args.get_double("qb", 1.0), ParseError);
   const Args args2({"x", "--n", "1.5"}, {});
-  EXPECT_THROW(args2.get_int("n", 0), ParseError);
+  EXPECT_THROW((void)args2.get_int("n", 0), ParseError);
 }
 
 TEST(Args, TracksUnusedFlags) {

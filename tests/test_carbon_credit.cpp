@@ -52,12 +52,12 @@ TEST(Cct, NeutralOffloadValues) {
 TEST(Cct, NeutralityUnreachableWithWeakServer) {
   auto p = valancius_params();
   p.gamma_server = EnergyPerBit{50.0};  // PUE·γs = 60 < lγm = 107
-  EXPECT_THROW(carbon_neutral_offload(p), InvalidArgument);
+  EXPECT_THROW((void)carbon_neutral_offload(p), InvalidArgument);
 }
 
 TEST(Cct, RejectsOutOfRangeOffload) {
-  EXPECT_THROW(cct_from_offload(-0.1, valancius_params()), InvalidArgument);
-  EXPECT_THROW(cct_from_offload(1.1, valancius_params()), InvalidArgument);
+  EXPECT_THROW((void)cct_from_offload(-0.1, valancius_params()), InvalidArgument);
+  EXPECT_THROW((void)cct_from_offload(1.1, valancius_params()), InvalidArgument);
 }
 
 TEST(PerUserCct, PureDownloaderIsMinusOne) {
@@ -95,9 +95,9 @@ TEST(PerUserCct, MonotoneInUpload) {
 }
 
 TEST(PerUserCct, RejectsNegativeVolumes) {
-  EXPECT_THROW(per_user_cct(Bits{-1}, Bits{0}, valancius_params()),
+  EXPECT_THROW((void)per_user_cct(Bits{-1}, Bits{0}, valancius_params()),
                InvalidArgument);
-  EXPECT_THROW(per_user_cct(Bits{0}, Bits{-1}, valancius_params()),
+  EXPECT_THROW((void)per_user_cct(Bits{0}, Bits{-1}, valancius_params()),
                InvalidArgument);
 }
 

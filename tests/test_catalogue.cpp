@@ -24,7 +24,7 @@ TEST(Bitrate, StringsRoundTrip) {
 }
 
 TEST(Bitrate, UnknownNameThrows) {
-  EXPECT_THROW(bitrate_class_from_string("8k"), ParseError);
+  EXPECT_THROW((void)bitrate_class_from_string("8k"), ParseError);
 }
 
 TEST(Bitrate, AscendingOrder) {
@@ -95,7 +95,7 @@ TEST(Catalogue, RejectsInvalidConfig) {
 
 TEST(Catalogue, ItemOutOfRangeThrows) {
   const Catalogue cat({}, 10, 1000, 0.9);
-  EXPECT_THROW(cat.item(10), InvalidArgument);
+  EXPECT_THROW((void)cat.item(10), InvalidArgument);
 }
 
 }  // namespace

@@ -1,0 +1,114 @@
+// End-to-end smoke tests of the `cl` command-line binary.
+//
+// The path of the built binary is injected by CMake as CL_CLI_PATH; each
+// test execs a full subcommand and checks exit status plus the key lines
+// of its report. These are the CTest guard against the CLI silently
+// rotting while the library suites stay green.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#ifndef CL_CLI_PATH
+#error "CMake must define CL_CLI_PATH (path of the built cl binary)"
+#endif
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr, interleaved
+};
+
+RunResult run_cli(const std::string& args) {
+  const std::string command = std::string(CL_CLI_PATH) + " " + args + " 2>&1";
+  RunResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  std::size_t n = 0;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), n);
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string temp_trace_path() {
+  return (std::filesystem::temp_directory_path() /
+          "cl_smoke_trace.csv").string();
+}
+
+TEST(CliSmoke, UsageOnNoCommand) {
+  const RunResult result = run_cli("");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("usage:"), std::string::npos);
+  EXPECT_NE(result.output.find("simulate"), std::string::npos);
+}
+
+TEST(CliSmoke, UnknownCommandFailsWithUsage) {
+  const RunResult result = run_cli("frobnicate");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("unknown command"), std::string::npos);
+}
+
+TEST(CliSmoke, ModelEvaluatesClosedForm) {
+  const RunResult result = run_cli("model --capacity 50 --qb 1.0");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("closed-form evaluation at capacity c = 50"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("Valancius"), std::string::npos);
+  EXPECT_NE(result.output.find("Baliga"), std::string::npos);
+  EXPECT_NE(result.output.find("offload G"), std::string::npos);
+}
+
+TEST(CliSmoke, GenerateThenSimulateEndToEnd) {
+  const std::string trace = temp_trace_path();
+  std::filesystem::remove(trace);
+
+  const RunResult gen = run_cli("generate --out " + trace +
+                                " --preset small --days 1 --seed 7");
+  ASSERT_EQ(gen.exit_code, 0) << gen.output;
+  EXPECT_NE(gen.output.find("wrote"), std::string::npos);
+  ASSERT_TRUE(std::filesystem::exists(trace));
+
+  const RunResult sim = run_cli("simulate --trace " + trace + " --threads 2");
+  ASSERT_EQ(sim.exit_code, 0) << sim.output;
+  EXPECT_NE(sim.output.find("sessions:"), std::string::npos);
+  EXPECT_NE(sim.output.find("S (sim)"), std::string::npos);
+  EXPECT_NE(sim.output.find("Valancius"), std::string::npos);
+  EXPECT_NE(sim.output.find("Baliga"), std::string::npos);
+
+  std::filesystem::remove(trace);
+}
+
+TEST(CliSmoke, SimulateThreadsProduceIdenticalReports) {
+  const std::string trace = temp_trace_path() + ".threads";
+  std::filesystem::remove(trace);
+  const RunResult gen = run_cli("generate --out " + trace +
+                                " --preset small --days 1 --seed 11 --quiet");
+  ASSERT_EQ(gen.exit_code, 0) << gen.output;
+
+  const RunResult one = run_cli("simulate --trace " + trace + " --threads 1");
+  const RunResult four = run_cli("simulate --trace " + trace + " --threads 4");
+  ASSERT_EQ(one.exit_code, 0) << one.output;
+  ASSERT_EQ(four.exit_code, 0) << four.output;
+  // The whole printed report must match byte for byte: the sharded
+  // analysis path is bit-deterministic in the thread count.
+  EXPECT_EQ(one.output, four.output);
+
+  std::filesystem::remove(trace);
+}
+
+TEST(CliSmoke, RejectsUnknownFlagValueType) {
+  const RunResult result = run_cli("model --capacity notanumber");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("argument error"), std::string::npos);
+}
+
+}  // namespace

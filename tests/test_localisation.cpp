@@ -36,8 +36,8 @@ TEST(LocalityHelperF, BelowOneIsNonlocalMinusExcess) {
 }
 
 TEST(LocalityHelperF, RejectsOutOfDomain) {
-  EXPECT_THROW(locality_helper_f(-0.1, 1.0), InvalidArgument);
-  EXPECT_THROW(locality_helper_f(0.5, -1.0), InvalidArgument);
+  EXPECT_THROW((void)locality_helper_f(-0.1, 1.0), InvalidArgument);
+  EXPECT_THROW((void)locality_helper_f(0.5, -1.0), InvalidArgument);
 }
 
 TEST(FindLocalPeerProbability, Formula) {

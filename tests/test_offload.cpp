@@ -63,9 +63,9 @@ TEST(Offload, CeilingHelper) {
 }
 
 TEST(Offload, RejectsNegativeArguments) {
-  EXPECT_THROW(offload_fraction(-1.0, 1.0), InvalidArgument);
-  EXPECT_THROW(offload_fraction(1.0, -1.0), InvalidArgument);
-  EXPECT_THROW(offload_ceiling(-0.1), InvalidArgument);
+  EXPECT_THROW((void)offload_fraction(-1.0, 1.0), InvalidArgument);
+  EXPECT_THROW((void)offload_fraction(1.0, -1.0), InvalidArgument);
+  EXPECT_THROW((void)offload_ceiling(-0.1), InvalidArgument);
 }
 
 // Property sweep over capacities: G is increasing in c and within [0, q/β].

@@ -1,0 +1,217 @@
+// Tests for util/parallel.h and the sharded generation/analysis paths.
+//
+// The project's parallelism contract is *bit-identical results for every
+// thread count* — these tests pin that contract with exact (==) floating
+// point comparisons, not tolerances.
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "trace/synthetic.h"
+#include "trace/trace_stats.h"
+#include "util/stats.h"
+
+namespace cl {
+namespace {
+
+const Metro& metro() {
+  static const Metro m = Metro::london_top5();
+  return m;
+}
+
+TraceConfig small_config(unsigned threads) {
+  TraceConfig config;
+  config.days = 3;
+  config.users = 2000;
+  config.exemplar_views = {10000, 1000};
+  config.catalogue_tail = 200;
+  config.tail_views = 15000;
+  config.threads = threads;
+  return config;
+}
+
+TEST(ResolveThreads, ZeroMeansHardwareConcurrency) {
+  EXPECT_GE(resolve_threads(0), 1u);
+  EXPECT_EQ(resolve_threads(3), 3u);
+  // Clamped to the amount of available work.
+  EXPECT_EQ(resolve_threads(8, 2), 2u);
+  EXPECT_EQ(resolve_threads(8, 0), 8u);
+}
+
+TEST(ParallelShards, CoversRangeExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 3u, 8u}) {
+    std::vector<std::atomic<int>> hits(101);
+    parallel_shards(hits.size(), threads,
+                    [&](unsigned, std::size_t begin, std::size_t end) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        hits[i].fetch_add(1);
+                      }
+                    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelShards, ShardRangesAscendWithShardIndex) {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges(4);
+  parallel_shards(10, 4, [&](unsigned shard, std::size_t b, std::size_t e) {
+    ranges[shard] = {b, e};
+  });
+  std::size_t expect_begin = 0;
+  for (const auto& [b, e] : ranges) {
+    EXPECT_EQ(b, expect_begin);
+    EXPECT_LE(b, e);
+    expect_begin = e;
+  }
+  EXPECT_EQ(expect_begin, 10u);
+}
+
+TEST(ParallelShards, PropagatesWorkerExceptions) {
+  EXPECT_THROW(
+      parallel_shards(100, 4,
+                      [](unsigned, std::size_t begin, std::size_t) {
+                        if (begin > 0) throw std::runtime_error("boom");
+                      }),
+      std::runtime_error);
+}
+
+TEST(ParallelChunkedReduce, SumBitIdenticalAcrossThreadCounts) {
+  // Values with spread magnitudes so FP addition order matters.
+  std::vector<double> xs(10000);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = (i % 7 == 0 ? 1e12 : 1e-3) / static_cast<double>(i + 1);
+  }
+  const auto reduce = [&](unsigned threads) {
+    return parallel_chunked_reduce(
+        xs.size(), threads, [] { return 0.0; },
+        [&](double& acc, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) acc += xs[i];
+        },
+        [](double& total, const double& chunk) { total += chunk; },
+        /*chunk_len=*/256);
+  };
+  const double reference = reduce(1);
+  for (unsigned threads : {2u, 3u, 8u}) {
+    EXPECT_EQ(reduce(threads), reference);
+  }
+}
+
+TEST(ParallelChunkedReduce, RunningStatsMergeBitIdentical) {
+  std::vector<double> xs(5000);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = std::sin(static_cast<double>(i)) * 1e6;
+  }
+  const auto reduce = [&](unsigned threads) {
+    return parallel_chunked_reduce(
+        xs.size(), threads, [] { return RunningStats{}; },
+        [&](RunningStats& acc, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) acc.add(xs[i]);
+        },
+        [](RunningStats& total, const RunningStats& chunk) {
+          total.merge(chunk);
+        },
+        /*chunk_len=*/512);
+  };
+  const RunningStats reference = reduce(1);
+  for (unsigned threads : {2u, 4u, 8u}) {
+    const RunningStats stats = reduce(threads);
+    EXPECT_EQ(stats.count(), reference.count());
+    EXPECT_EQ(stats.mean(), reference.mean());
+    EXPECT_EQ(stats.variance(), reference.variance());
+    EXPECT_EQ(stats.min(), reference.min());
+    EXPECT_EQ(stats.max(), reference.max());
+  }
+}
+
+TEST(ShardedGeneration, TraceBitIdenticalAcrossThreadCounts) {
+  const Trace reference =
+      TraceGenerator(small_config(1), metro()).generate();
+  for (unsigned threads : {2u, 4u, 8u}) {
+    const Trace trace =
+        TraceGenerator(small_config(threads), metro()).generate();
+    ASSERT_EQ(trace.size(), reference.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const auto& a = trace.sessions[i];
+      const auto& b = reference.sessions[i];
+      ASSERT_EQ(a.user, b.user) << "i=" << i;
+      ASSERT_EQ(a.household, b.household);
+      ASSERT_EQ(a.content, b.content);
+      ASSERT_EQ(a.isp, b.isp);
+      ASSERT_EQ(a.exp, b.exp);
+      ASSERT_EQ(a.bitrate, b.bitrate);
+      // Exact equality on purpose: the sharding contract is bit-identity.
+      ASSERT_EQ(a.start, b.start);
+      ASSERT_EQ(a.duration, b.duration);
+    }
+  }
+}
+
+TEST(ShardedGeneration, AggregateStatsBitIdentical) {
+  const TraceStats reference =
+      compute_stats(TraceGenerator(small_config(1), metro()).generate());
+  const TraceStats sharded =
+      compute_stats(TraceGenerator(small_config(8), metro()).generate());
+  EXPECT_EQ(sharded.sessions, reference.sessions);
+  EXPECT_EQ(sharded.distinct_users, reference.distinct_users);
+  EXPECT_EQ(sharded.distinct_households, reference.distinct_households);
+  EXPECT_EQ(sharded.distinct_contents, reference.distinct_contents);
+  EXPECT_EQ(sharded.total_watch_time.value(),
+            reference.total_watch_time.value());
+  EXPECT_EQ(sharded.total_volume.value(), reference.total_volume.value());
+  EXPECT_EQ(sharded.mean_concurrency, reference.mean_concurrency);
+}
+
+TEST(ShardedAnalysis, AnalyzerOutputsBitIdenticalAcrossThreadCounts) {
+  const Trace trace = TraceGenerator(small_config(0), metro()).generate();
+
+  SimConfig base;
+  base.threads = 1;
+  const Analyzer reference(metro(), base);
+  const auto ref_dist = reference.swarm_distributions(trace);
+  const auto ref_agg = reference.aggregate(trace);
+  const auto ref_daily = reference.daily_report(trace);
+
+  for (unsigned threads : {2u, 4u, 8u}) {
+    SimConfig config;
+    config.threads = threads;
+    const Analyzer analyzer(metro(), config);
+
+    const auto dist = analyzer.swarm_distributions(trace);
+    ASSERT_EQ(dist.capacities.size(), ref_dist.capacities.size());
+    EXPECT_EQ(dist.capacities, ref_dist.capacities);
+    ASSERT_EQ(dist.savings.size(), ref_dist.savings.size());
+    for (std::size_t m = 0; m < dist.savings.size(); ++m) {
+      EXPECT_EQ(dist.savings[m], ref_dist.savings[m]);
+    }
+    EXPECT_EQ(dist.capacity_stats.mean(), ref_dist.capacity_stats.mean());
+    EXPECT_EQ(dist.capacity_stats.variance(),
+              ref_dist.capacity_stats.variance());
+    ASSERT_EQ(dist.savings_stats.size(), ref_dist.savings_stats.size());
+    for (std::size_t m = 0; m < dist.savings_stats.size(); ++m) {
+      EXPECT_EQ(dist.savings_stats[m].mean(),
+                ref_dist.savings_stats[m].mean());
+    }
+
+    const auto agg = analyzer.aggregate(trace);
+    ASSERT_EQ(agg.size(), ref_agg.size());
+    for (std::size_t m = 0; m < agg.size(); ++m) {
+      EXPECT_EQ(agg[m].sim_savings, ref_agg[m].sim_savings);
+      EXPECT_EQ(agg[m].theory_savings, ref_agg[m].theory_savings);
+      EXPECT_EQ(agg[m].offload, ref_agg[m].offload);
+    }
+
+    const auto daily = analyzer.daily_report(trace);
+    ASSERT_EQ(daily.theory.size(), ref_daily.theory.size());
+    EXPECT_EQ(daily.theory, ref_daily.theory);
+    EXPECT_EQ(daily.sim, ref_daily.sim);
+  }
+}
+
+}  // namespace
+}  // namespace cl

@@ -28,7 +28,7 @@ TEST(Planner, BreakEvenIsZeroForPaperModels) {
 TEST(Planner, BreakEvenUnreachableForBadParams) {
   auto p = hop_count_params("bad-p2p", EnergyPerBit{150.0}, 7, 9, 9, 9);
   const Planner planner(SavingsModel(p, IspTopology::london_default()));
-  EXPECT_THROW(planner.break_even_capacity(1.0), InvalidArgument);
+  EXPECT_THROW((void)planner.break_even_capacity(1.0), InvalidArgument);
 }
 
 TEST(Planner, CapacityForSavingsInvertsForwardModel) {
@@ -53,10 +53,10 @@ TEST(Planner, CapacityForSavingsMonotoneInTarget) {
 }
 
 TEST(Planner, UnreachableTargetThrows) {
-  EXPECT_THROW(valancius_planner().capacity_for_savings(0.9, 1.0),
+  EXPECT_THROW((void)valancius_planner().capacity_for_savings(0.9, 1.0),
                InvalidArgument);
   // Baliga's ceiling at q/β = 1 is 0.37: 0.5 is unreachable.
-  EXPECT_THROW(baliga_planner().capacity_for_savings(0.5, 1.0),
+  EXPECT_THROW((void)baliga_planner().capacity_for_savings(0.5, 1.0),
                InvalidArgument);
 }
 
@@ -85,9 +85,9 @@ TEST(Planner, BaligaTurnsCarbonNeutralEarlier) {
 TEST(Planner, CarbonNeutralUnreachableAtLowUpload) {
   // With q/β = 0.4, G can never exceed 0.4 < G* for either model... except
   // Baliga needs 0.464 > 0.4: unreachable; Valancius needs 0.73: also.
-  EXPECT_THROW(valancius_planner().carbon_neutral_capacity(0.4),
+  EXPECT_THROW((void)valancius_planner().carbon_neutral_capacity(0.4),
                InvalidArgument);
-  EXPECT_THROW(baliga_planner().carbon_neutral_capacity(0.4),
+  EXPECT_THROW((void)baliga_planner().carbon_neutral_capacity(0.4),
                InvalidArgument);
 }
 
@@ -103,10 +103,10 @@ TEST(Planner, ViewsCapacityRoundTrip) {
 
 TEST(Planner, RejectsBadArguments) {
   const Planner planner = valancius_planner();
-  EXPECT_THROW(planner.capacity_for_savings(-0.1, 1.0), InvalidArgument);
-  EXPECT_THROW(planner.views_per_month_for_capacity(1.0, Seconds{0.0}),
+  EXPECT_THROW((void)planner.capacity_for_savings(-0.1, 1.0), InvalidArgument);
+  EXPECT_THROW((void)planner.views_per_month_for_capacity(1.0, Seconds{0.0}),
                InvalidArgument);
-  EXPECT_THROW(planner.capacity_for_views_per_month(-1.0, Seconds{60.0}),
+  EXPECT_THROW((void)planner.capacity_for_views_per_month(-1.0, Seconds{60.0}),
                InvalidArgument);
 }
 

@@ -135,8 +135,8 @@ TEST(SavingsModel, RejectsInvalidLocalisation) {
 
 TEST(SavingsModel, RejectsNegativeArguments) {
   const auto model = valancius_model();
-  EXPECT_THROW(model.savings(-1.0, 1.0), InvalidArgument);
-  EXPECT_THROW(model.savings(1.0, -1.0), InvalidArgument);
+  EXPECT_THROW((void)model.savings(-1.0, 1.0), InvalidArgument);
+  EXPECT_THROW((void)model.savings(1.0, -1.0), InvalidArgument);
 }
 
 // ---- Fig. 5 component curves ----

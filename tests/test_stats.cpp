@@ -84,8 +84,8 @@ TEST(QuantileSorted, SingleElement) {
 }
 
 TEST(QuantileSorted, RejectsBadInput) {
-  EXPECT_THROW(quantile_sorted({}, 0.5), InvalidArgument);
-  EXPECT_THROW(quantile_sorted({1.0}, 1.5), InvalidArgument);
+  EXPECT_THROW((void)quantile_sorted({}, 0.5), InvalidArgument);
+  EXPECT_THROW((void)quantile_sorted({1.0}, 1.5), InvalidArgument);
 }
 
 TEST(Summarize, Empty) {
@@ -118,7 +118,7 @@ TEST(MeanAbsRelativeError, SkipsNearZeroReference) {
 }
 
 TEST(MeanAbsRelativeError, RejectsLengthMismatch) {
-  EXPECT_THROW(mean_abs_relative_error({1.0}, {1.0, 2.0}), InvalidArgument);
+  EXPECT_THROW((void)mean_abs_relative_error({1.0}, {1.0, 2.0}), InvalidArgument);
 }
 
 TEST(Pearson, PerfectCorrelation) {

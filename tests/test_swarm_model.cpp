@@ -134,9 +134,9 @@ TEST(ExpectedExcessNonlocal, SmallCsBranchContinuity) {
 }
 
 TEST(ExpectedExcessNonlocal, RejectsOutOfDomain) {
-  EXPECT_THROW(expected_excess_nonlocal(-0.1, 1.0), InvalidArgument);
-  EXPECT_THROW(expected_excess_nonlocal(1.1, 1.0), InvalidArgument);
-  EXPECT_THROW(expected_excess_nonlocal(0.5, -1.0), InvalidArgument);
+  EXPECT_THROW((void)expected_excess_nonlocal(-0.1, 1.0), InvalidArgument);
+  EXPECT_THROW((void)expected_excess_nonlocal(1.1, 1.0), InvalidArgument);
+  EXPECT_THROW((void)expected_excess_nonlocal(0.5, -1.0), InvalidArgument);
 }
 
 TEST(SwarmModel, MonteCarloOccupancyMatchesPoisson) {

@@ -71,8 +71,8 @@ TEST(IspTopology, RejectsInvalidShape) {
 
 TEST(IspTopology, RejectsOutOfRangeExp) {
   const auto topo = IspTopology::london_default();
-  EXPECT_THROW(topo.pop_of(345), InvalidArgument);
-  EXPECT_THROW(topo.locality_between(0, 345), InvalidArgument);
+  EXPECT_THROW((void)topo.pop_of(345), InvalidArgument);
+  EXPECT_THROW((void)topo.locality_between(0, 345), InvalidArgument);
 }
 
 TEST(IspTopology, ScaledKeepsProportions) {
@@ -154,10 +154,10 @@ TEST(Metro, RejectsMismatchedShapes) {
 
 TEST(Metro, RejectsOutOfRangeAccess) {
   const auto metro = Metro::london_top5();
-  EXPECT_THROW(metro.isp(5), InvalidArgument);
-  EXPECT_THROW(metro.share(5), InvalidArgument);
+  EXPECT_THROW((void)metro.isp(5), InvalidArgument);
+  EXPECT_THROW((void)metro.share(5), InvalidArgument);
   Rng rng(1);
-  EXPECT_THROW(metro.place_user(9, rng), InvalidArgument);
+  EXPECT_THROW((void)metro.place_user(9, rng), InvalidArgument);
 }
 
 TEST(LocalityLevel, NamesAndIndices) {
