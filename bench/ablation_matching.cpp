@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
     for (int m = 0; m < 2; ++m) {
       SimConfig sim_config;
       sim_config.q_over_beta = ratio;
+      sim_config.threads = run.threads();
       sim_config.matcher =
           m == 0 ? MatcherKind::kExistence : MatcherKind::kCapacity;
       sim_config.collect_per_day = false;

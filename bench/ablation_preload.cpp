@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   run.set_items(static_cast<double>(trace.size()) * 5, "sessions");
 
   SimConfig sim_config;
+  sim_config.threads = run.threads();
   sim_config.collect_per_day = false;
   sim_config.collect_per_user = false;
   sim_config.collect_swarms = false;

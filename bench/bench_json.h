@@ -2,7 +2,8 @@
 //
 // Every paper bench accepts:
 //   --json PATH    write a BENCH_<name>.json result file to PATH
-//   --threads N    shard trace generation / analysis (0 = all cores)
+//   --threads N    shard trace generation / simulation / analysis
+//                  (0 = all cores)
 //
 // The JSON file carries the bench name, thread count, wall time, an
 // optional throughput figure (items / items_per_second) and a "metrics"
@@ -147,7 +148,9 @@ class Runner {
     }
   }
 
-  /// The --threads knob (0 = all cores), for TraceConfig/SimConfig.
+  /// The --threads knob (0 = all cores), for TraceConfig/SimConfig —
+  /// generation, the simulator's per-swarm sweep, and analysis all
+  /// shard on it.
   [[nodiscard]] unsigned threads() const { return threads_; }
   /// The knob resolved against the actual hardware.
   [[nodiscard]] unsigned resolved_threads() const {

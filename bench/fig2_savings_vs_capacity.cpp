@@ -4,9 +4,12 @@
 // top-5 ISPs, for q/β ∈ {0.2, 0.4, 0.6, 0.8, 1.0}, under both energy
 // parameter sets.
 //
-// The (tier, ISP, q/β) dot grid is 75 independent simulations — the bench
-// shards it across --threads workers and prints the table in grid order
-// afterwards, so the output is identical at any thread count.
+// The (tier, ISP, q/β) dot grid is 75 independent simulations, run in
+// grid order with the simulator itself sharded across --threads workers
+// (SimConfig::threads, replacing this bench's former bespoke grid
+// sharding). Per-dot parallelism is bounded by the dot's sub-swarm count
+// (bitrate split of one filtered content item), and the simulator's
+// merge discipline keeps every dot bit-identical at any thread count.
 #include <cmath>
 #include <cstddef>
 #include <iostream>
@@ -16,7 +19,6 @@
 #include "bench_json.h"
 #include "core/analyzer.h"
 #include "trace/filter.h"
-#include "util/parallel.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -55,7 +57,7 @@ int main(int argc, char** argv) {
 
   // Simulation dots: one dot per (tier, ISP, q/β); compared against the
   // theory value at the measured capacity. Pre-filter the per-(tier, ISP)
-  // traces, then shard the independent dot simulations across workers.
+  // traces; each dot's simulation is itself sharded across workers.
   const std::size_t isp_count = bench::metro().isp_count();
   std::vector<Trace> tier_traces;
   std::vector<std::vector<Trace>> isp_traces(3);
@@ -82,17 +84,15 @@ int main(int argc, char** argv) {
   }
   std::vector<SwarmExperiment> dots(jobs.size());
   double sessions_simulated = 0;
-  parallel_shards(jobs.size(), run.threads(),
-                  [&](unsigned, std::size_t begin, std::size_t end) {
-                    for (std::size_t i = begin; i < end; ++i) {
-                      const Dot& dot = jobs[i];
-                      SimConfig sim_config;
-                      sim_config.q_over_beta = dot.ratio;
-                      const Analyzer analyzer(bench::metro(), sim_config);
-                      dots[i] = analyzer.analyze_swarm(
-                          isp_traces[dot.tier][dot.isp], dot.isp);
-                    }
-                  });
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Dot& dot = jobs[i];
+    SimConfig sim_config;
+    sim_config.q_over_beta = dot.ratio;
+    sim_config.threads = run.threads();
+    const Analyzer analyzer(bench::metro(), sim_config);
+    dots[i] =
+        analyzer.analyze_swarm(isp_traces[dot.tier][dot.isp], dot.isp);
+  }
 
   std::vector<double> sim_all, theo_all;
   std::size_t job = 0;

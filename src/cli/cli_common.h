@@ -18,8 +18,9 @@ inline const Metro& metro() {
   return m;
 }
 
-/// Shared --threads knob: worker threads for sharded generation/analysis
-/// (0 = all hardware threads; results are bit-identical at any value).
+/// Shared --threads knob: worker threads for sharded generation, the
+/// simulator's per-swarm sweep, and analysis (0 = all hardware threads;
+/// results are bit-identical at any value).
 inline unsigned threads_from(const Args& args) {
   const std::int64_t threads = args.get_int("threads", 1);
   if (threads < 0) throw ParseError("--threads must be >= 0");

@@ -45,7 +45,8 @@ commands:
                                   per-user carbon credit ledger
 
 Commands that accept --trace generate a scaled synthetic London month when
-the flag is omitted. --threads N shards trace generation and analysis
+the flag is omitted. --threads N shards trace generation, the simulator's
+per-swarm sweep, and analysis
 across N workers (0 = all cores); results are bit-identical at any N.
 )";
   return exit_code;

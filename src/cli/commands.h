@@ -17,7 +17,7 @@ int cmd_generate(const Args& args);
 /// aggregate savings report.
 ///   --trace PATH (required; or --preset to self-generate), --qb R,
 ///   --cross-isp, --mixed-bitrate, --matcher existence|capacity,
-///   --threads N (sharded generation/analysis)
+///   --threads N (sharded generation/simulation/analysis)
 int cmd_simulate(const Args& args);
 
 /// `swarm` — analyze one content swarm: sim vs theory (a Fig. 2 dot).

@@ -3,27 +3,27 @@
 #include <algorithm>
 #include <cmath>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "sim/swarm_sweep.h"
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace cl {
 
 namespace {
 
-/// A join or leave of one group session at a window boundary.
-struct Event {
-  std::uint64_t window = 0;
-  std::uint8_t type = 0;  ///< 0 = leave, 1 = join (leaves apply first)
-  std::uint32_t idx = 0;  ///< index within the group's session list
-};
-
-void accumulate(TrafficBreakdown& tb, const PeerAllocation& al,
-                double windows) {
-  tb.server += Bits{al.server_bits * windows};
-  for (std::size_t l = 0; l < kLocalityLevels; ++l) {
-    tb.peer[l] += Bits{al.peer_bits[l] * windows};
-  }
-  tb.cross_isp += Bits{al.cross_isp_bits * windows};
+/// Swarms per reduction chunk, as a function of the swarm count alone —
+/// never the thread count — so chunk boundaries, and therefore the merged
+/// floating-point result, are identical at every --threads value. Much
+/// smaller than util/parallel.h's kReduceChunk: swarm sizes follow the
+/// catalogue's Zipf skew, so small chunks are needed to load-balance the
+/// popular head. Small simulations (e.g. one content item pre-filtered to
+/// one ISP — a Fig. 2 dot) drop to single-swarm chunks so even they can
+/// engage several workers.
+std::size_t swarms_per_chunk(std::size_t swarms) {
+  return std::clamp<std::size_t>(swarms / 64, 1, 8);
 }
 
 }  // namespace
@@ -35,15 +35,16 @@ HybridSimulator::HybridSimulator(const Metro& metro, SimConfig config)
 }
 
 SimResult HybridSimulator::run(const Trace& trace) const {
-  SimResult result;
-  result.config = config_;
-  result.span = trace.span;
-  if (config_.collect_per_day) {
-    const auto days = std::max<std::size_t>(
-        1, static_cast<std::size_t>(std::ceil(trace.span.value() / 86400.0)));
-    result.daily.assign(days,
-                        std::vector<TrafficBreakdown>(metro_->isp_count()));
-  }
+  // Partials start with an empty daily grid; sweeps grow it only for the
+  // days their swarms actually touch (a month of per-chunk full grids
+  // would cost O(chunks × days × isps) up-front), and run() pads the
+  // merged result to the full [days][isps] shape at the end.
+  const auto make_partial = [&] {
+    SimResult partial;
+    partial.config = config_;
+    partial.span = trace.span;
+    return partial;
+  };
 
   std::unordered_map<SwarmKey, std::vector<std::uint32_t>> groups;
   groups.reserve(1024);
@@ -61,139 +62,33 @@ SimResult HybridSimulator::run(const Trace& trace) const {
               return a->first.packed() < b->first.packed();
             });
 
-  const auto matcher = make_matcher(config_.matcher);
-  for (const auto* entry : ordered) {
-    sweep_group(entry->first, entry->second, trace, *matcher, result);
+  // Shard the key-ordered swarm list across workers: each worker reuses
+  // one SwarmSweep (scratch buffers + matcher) for every swarm it sweeps,
+  // each fixed-size chunk accumulates into its own SimResult partial, and
+  // partials merge in ascending swarm-key order — bit-identical results
+  // at every thread count (the util/parallel.h contract).
+  SimResult result = parallel_chunked_reduce_stateful(
+      ordered.size(), config_.threads,
+      [&] { return SwarmSweep(*metro_, config_); }, make_partial,
+      [&](SwarmSweep& sweep, SimResult& acc, std::size_t begin,
+          std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          sweep.sweep(ordered[i]->first, ordered[i]->second, trace, acc);
+        }
+      },
+      [](SimResult& merged, const SimResult& chunk) { merged.merge(chunk); },
+      swarms_per_chunk(ordered.size()));
+
+  if (config_.collect_per_day) {
+    // Pad to the full [days][isps] shape (traffic-free cells stay zero).
+    const auto days = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(trace.span.value() / 86400.0)));
+    if (result.daily.size() < days) result.daily.resize(days);
+    for (auto& day : result.daily) {
+      if (day.size() < metro_->isp_count()) day.resize(metro_->isp_count());
+    }
   }
   return result;
-}
-
-void HybridSimulator::sweep_group(SwarmKey key,
-                                  std::span<const std::uint32_t> indices,
-                                  const Trace& trace, const Matcher& matcher,
-                                  SimResult& result) const {
-  const double dt = config_.window.value();
-
-  // Window-quantised join/leave events. Sessions shorter than one window
-  // are skipped: they never complete a full Δτ streaming step.
-  std::vector<Event> events;
-  events.reserve(indices.size() * 2);
-  double watch_seconds = 0;
-  for (std::uint32_t g = 0; g < indices.size(); ++g) {
-    const SessionRecord& s = trace.sessions[indices[g]];
-    watch_seconds += s.duration;
-    const auto w_start = static_cast<std::uint64_t>(s.start / dt);
-    const auto w_end = static_cast<std::uint64_t>(s.end() / dt);
-    if (w_end <= w_start) continue;
-    events.push_back({w_start, 1, g});
-    events.push_back({w_end, 0, g});
-  }
-  if (events.empty()) {
-    if (config_.collect_swarms) {
-      SwarmResult swarm;
-      swarm.key = key;
-      swarm.sessions = indices.size();
-      swarm.capacity =
-          trace.span.value() > 0 ? watch_seconds / trace.span.value() : 0;
-      result.swarms.push_back(swarm);
-    }
-    return;
-  }
-  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
-    if (a.window != b.window) return a.window < b.window;
-    if (a.type != b.type) return a.type < b.type;
-    return a.idx < b.idx;
-  });
-
-  std::vector<ActivePeer> active;
-  std::vector<std::int32_t> pos(indices.size(), -1);
-  std::vector<PeerAllocation> alloc;
-  TrafficBreakdown swarm_traffic;
-
-  const auto process_span = [&](std::uint64_t w0, std::uint64_t w1) {
-    // Seed peer: the longest-present member (deterministic tie-break).
-    std::size_t seed = 0;
-    for (std::size_t i = 1; i < active.size(); ++i) {
-      if (active[i].join_window < active[seed].join_window ||
-          (active[i].join_window == active[seed].join_window &&
-           active[i].session < active[seed].session)) {
-        seed = i;
-      }
-    }
-    matcher.allocate(active, seed, config_, alloc);
-    const auto total_windows = static_cast<double>(w1 - w0);
-
-    for (std::size_t i = 0; i < active.size(); ++i) {
-      accumulate(swarm_traffic, alloc[i], total_windows);
-      if (config_.collect_per_user) {
-        UserTraffic& ut = result.users[active[i].user];
-        ut.downloaded += Bits{alloc[i].downloaded_bits() * total_windows};
-        ut.uploaded += Bits{alloc[i].upload_bits * total_windows};
-      }
-    }
-    if (config_.collect_per_day) {
-      std::uint64_t w = w0;
-      while (w < w1) {
-        const auto day = static_cast<std::size_t>(
-            static_cast<double>(w) * dt / 86400.0);
-        const auto day_end_window = static_cast<std::uint64_t>(
-            std::ceil(static_cast<double>(day + 1) * 86400.0 / dt));
-        const std::uint64_t chunk_end = std::min(w1, day_end_window);
-        const auto chunk = static_cast<double>(chunk_end - w);
-        CL_ENSURES(day < result.daily.size());
-        for (std::size_t i = 0; i < active.size(); ++i) {
-          accumulate(result.daily[day][active[i].isp], alloc[i], chunk);
-        }
-        w = chunk_end;
-      }
-    }
-  };
-
-  std::size_t k = 0;
-  std::uint64_t cur_w = events.front().window;
-  while (k < events.size()) {
-    // Apply every event at cur_w (leaves first by sort order).
-    while (k < events.size() && events[k].window == cur_w) {
-      const Event& e = events[k];
-      if (e.type == 1) {
-        const SessionRecord& s = trace.sessions[indices[e.idx]];
-        ActivePeer peer;
-        peer.session = e.idx;
-        peer.user = s.user;
-        peer.isp = s.isp;
-        peer.exp = s.exp;
-        peer.pop = metro_->isp(s.isp).pop_of(s.exp);
-        peer.beta = s.beta().value();
-        peer.join_window = cur_w;
-        pos[e.idx] = static_cast<std::int32_t>(active.size());
-        active.push_back(peer);
-      } else {
-        const auto i = static_cast<std::size_t>(pos[e.idx]);
-        CL_ENSURES(pos[e.idx] >= 0 && i < active.size());
-        active[i] = active.back();
-        pos[active[i].session] = static_cast<std::int32_t>(i);
-        active.pop_back();
-        pos[e.idx] = -1;
-      }
-      ++k;
-    }
-    if (k == events.size()) break;
-    const std::uint64_t next_w = events[k].window;
-    if (!active.empty()) process_span(cur_w, next_w);
-    cur_w = next_w;
-  }
-  CL_ENSURES(active.empty());
-
-  result.total += swarm_traffic;
-  if (config_.collect_swarms) {
-    SwarmResult swarm;
-    swarm.key = key;
-    swarm.sessions = indices.size();
-    swarm.capacity =
-        trace.span.value() > 0 ? watch_seconds / trace.span.value() : 0;
-    swarm.traffic = swarm_traffic;
-    result.swarms.push_back(swarm);
-  }
 }
 
 }  // namespace cl

@@ -14,11 +14,15 @@
 // stretch length (splitting at day boundaries when per-day metrics are
 // collected). This is exact, not an approximation, and reduces the cost
 // from O(windows × peers) to O(events × peers).
+//
+// Parallel execution: swarms are independent, so run() shards the
+// key-sorted swarm list across SimConfig::threads workers. Each worker
+// drives one reusable SwarmSweep (sim/swarm_sweep.h); per-chunk SimResult
+// partials merge in ascending swarm-key order, making the full result
+// bit-identical at every thread count (see DESIGN.md §"Parallel execution
+// model").
 #pragma once
 
-#include <span>
-
-#include "sim/matcher.h"
 #include "sim/metrics.h"
 #include "sim/sim_config.h"
 #include "topology/placement.h"
@@ -36,16 +40,11 @@ class HybridSimulator {
   [[nodiscard]] const SimConfig& config() const { return config_; }
 
   /// Simulates the whole trace: groups sessions into swarms, sweeps each
-  /// swarm, and aggregates per-swarm / per-day / per-user metrics.
+  /// swarm on SimConfig::threads workers, and merges the per-swarm /
+  /// per-day / per-user metrics deterministically.
   [[nodiscard]] SimResult run(const Trace& trace) const;
 
  private:
-  struct GroupAccumulator;
-
-  void sweep_group(SwarmKey key, std::span<const std::uint32_t> indices,
-                   const Trace& trace, const Matcher& matcher,
-                   SimResult& result) const;
-
   const Metro* metro_;
   SimConfig config_;
 };

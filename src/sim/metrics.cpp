@@ -1,6 +1,35 @@
 #include "sim/metrics.h"
 
+#include <algorithm>
+
 namespace cl {
+
+void SimResult::merge(const SimResult& other) {
+  total += other.total;
+  if (other.span.value() > span.value()) span = other.span;
+
+  if (!other.daily.empty()) {
+    if (daily.size() < other.daily.size()) {
+      daily.resize(other.daily.size());
+    }
+    for (std::size_t d = 0; d < other.daily.size(); ++d) {
+      const auto& other_day = other.daily[d];
+      auto& day = daily[d];
+      if (day.size() < other_day.size()) day.resize(other_day.size());
+      for (std::size_t i = 0; i < other_day.size(); ++i) {
+        day[i] += other_day[i];
+      }
+    }
+  }
+
+  for (const auto& [user, traffic] : other.users) {
+    UserTraffic& ut = users[user];
+    ut.downloaded += traffic.downloaded;
+    ut.uploaded += traffic.uploaded;
+  }
+
+  swarms.insert(swarms.end(), other.swarms.begin(), other.swarms.end());
+}
 
 double swarm_savings(const SwarmResult& swarm,
                      const EnergyAccountant& accountant) {

@@ -28,7 +28,12 @@ struct SwarmResult {
   TrafficBreakdown traffic;
 };
 
-/// Full simulation outcome.
+/// Full simulation outcome — or a mergeable *partial* of one.
+///
+/// The parallel simulator sweeps disjoint swarm subsets into per-chunk
+/// partials and folds them with merge() in ascending swarm-key order
+/// (util/parallel.h's fixed-chunk discipline), so the combined result is
+/// bit-identical for every SimConfig::threads value.
 struct SimResult {
   SimConfig config;
   Seconds span;
@@ -45,6 +50,14 @@ struct SimResult {
 
   /// System-wide offload fraction G achieved by the run.
   [[nodiscard]] double offload() const { return total.offload_fraction(); }
+
+  /// Folds another partial into this one: sums `total`, element-wise adds
+  /// the `daily` per-ISP grids (growing this grid when `other`'s is
+  /// larger), folds the per-user map, and appends `other.swarms` — so
+  /// merging chunk partials in ascending swarm-key order keeps `swarms`
+  /// globally key-sorted. `span` takes the larger of the two; `config` is
+  /// left untouched (partials of one run share it by construction).
+  void merge(const SimResult& other);
 };
 
 /// End-to-end savings of one swarm under an energy model (Eq. 1 evaluated

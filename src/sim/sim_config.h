@@ -43,10 +43,12 @@ struct SimConfig {
 
   MatcherKind matcher = MatcherKind::kExistence;
 
-  /// Worker threads for the analyzer's sharded reductions (per-swarm
-  /// savings, daily theory aggregation). 0 = all hardware threads. The
-  /// reductions use fixed-chunk merges (util/parallel.h), so results are
-  /// bit-identical for every value of this knob.
+  /// Worker threads for the whole simulation stack: the simulator's
+  /// per-swarm sweep (HybridSimulator::run shards swarms across workers)
+  /// and the analyzer's sharded reductions (per-swarm savings, daily
+  /// theory aggregation). 0 = all hardware threads. Everything uses
+  /// fixed-chunk merges (util/parallel.h), so results are bit-identical
+  /// for every value of this knob.
   unsigned threads = 1;
 
   // --- metric collection toggles (cost only, results identical) ---

@@ -1,0 +1,172 @@
+#include "sim/swarm_sweep.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace cl {
+
+namespace {
+
+void accumulate(TrafficBreakdown& tb, const PeerAllocation& al,
+                double windows) {
+  tb.server += Bits{al.server_bits * windows};
+  for (std::size_t l = 0; l < kLocalityLevels; ++l) {
+    tb.peer[l] += Bits{al.peer_bits[l] * windows};
+  }
+  tb.cross_isp += Bits{al.cross_isp_bits * windows};
+}
+
+}  // namespace
+
+SwarmSweep::SwarmSweep(const Metro& metro, const SimConfig& config)
+    : metro_(&metro), config_(config), matcher_(make_matcher(config.matcher)) {
+  CL_EXPECTS(config_.window.value() > 0);
+  CL_EXPECTS(config_.q_over_beta >= 0);
+}
+
+void SwarmSweep::sweep(SwarmKey key, std::span<const std::uint32_t> indices,
+                       const Trace& trace, SimResult& out) {
+  // The active-list bookkeeping packs session indices into int32_t slots;
+  // a pathological >2B-session swarm must fail loudly, not corrupt them.
+  CL_EXPECTS(indices.size() <= static_cast<std::size_t>(
+                                   std::numeric_limits<std::int32_t>::max()));
+  const double dt = config_.window.value();
+  // Upper bound of the lazily grown daily grid: a session ending past
+  // trace.span (corrupt #span= header) must fail loudly, exactly as the
+  // old span-sized-grid bounds check did.
+  const auto max_days = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(trace.span.value() / 86400.0)));
+
+  // Window-quantised join/leave events. Sessions shorter than one window
+  // are skipped: they never complete a full Δτ streaming step.
+  events_.clear();
+  events_.reserve(indices.size() * 2);
+  double watch_seconds = 0;
+  for (std::uint32_t g = 0; g < indices.size(); ++g) {
+    const SessionRecord& s = trace.sessions[indices[g]];
+    watch_seconds += s.duration;
+    const auto w_start = static_cast<std::uint64_t>(s.start / dt);
+    const auto w_end = static_cast<std::uint64_t>(s.end() / dt);
+    if (w_end <= w_start) continue;
+    events_.push_back({w_start, 1, g});
+    events_.push_back({w_end, 0, g});
+  }
+  if (events_.empty()) {
+    if (config_.collect_swarms) {
+      SwarmResult swarm;
+      swarm.key = key;
+      swarm.sessions = indices.size();
+      swarm.capacity =
+          trace.span.value() > 0 ? watch_seconds / trace.span.value() : 0;
+      out.swarms.push_back(swarm);
+    }
+    return;
+  }
+  std::sort(events_.begin(), events_.end(),
+            [](const Event& a, const Event& b) {
+              if (a.window != b.window) return a.window < b.window;
+              if (a.type != b.type) return a.type < b.type;
+              return a.idx < b.idx;
+            });
+
+  active_.clear();
+  pos_.assign(indices.size(), -1);
+  TrafficBreakdown swarm_traffic;
+
+  const auto process_span = [&](std::uint64_t w0, std::uint64_t w1) {
+    // Seed peer: the longest-present member (deterministic tie-break).
+    std::size_t seed = 0;
+    for (std::size_t i = 1; i < active_.size(); ++i) {
+      if (active_[i].join_window < active_[seed].join_window ||
+          (active_[i].join_window == active_[seed].join_window &&
+           active_[i].session < active_[seed].session)) {
+        seed = i;
+      }
+    }
+    matcher_->allocate(active_, seed, config_, alloc_);
+    const auto total_windows = static_cast<double>(w1 - w0);
+
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      accumulate(swarm_traffic, alloc_[i], total_windows);
+      if (config_.collect_per_user) {
+        UserTraffic& ut = out.users[active_[i].user];
+        ut.downloaded += Bits{alloc_[i].downloaded_bits() * total_windows};
+        ut.uploaded += Bits{alloc_[i].upload_bits * total_windows};
+      }
+    }
+    if (config_.collect_per_day) {
+      std::uint64_t w = w0;
+      while (w < w1) {
+        const auto day = static_cast<std::size_t>(
+            static_cast<double>(w) * dt / 86400.0);
+        const auto day_end_window = static_cast<std::uint64_t>(
+            std::ceil(static_cast<double>(day + 1) * 86400.0 / dt));
+        const std::uint64_t chunk_end = std::min(w1, day_end_window);
+        const auto chunk = static_cast<double>(chunk_end - w);
+        // Grow the partial's grid lazily: only days this swarm touches
+        // get a row (HybridSimulator::run pads the merged result).
+        CL_ENSURES(day < max_days);
+        if (day >= out.daily.size()) out.daily.resize(day + 1);
+        auto& row = out.daily[day];
+        if (row.size() < metro_->isp_count()) {
+          row.resize(metro_->isp_count());
+        }
+        for (std::size_t i = 0; i < active_.size(); ++i) {
+          accumulate(row[active_[i].isp], alloc_[i], chunk);
+        }
+        w = chunk_end;
+      }
+    }
+  };
+
+  std::size_t k = 0;
+  std::uint64_t cur_w = events_.front().window;
+  while (k < events_.size()) {
+    // Apply every event at cur_w (leaves first by sort order).
+    while (k < events_.size() && events_[k].window == cur_w) {
+      const Event& e = events_[k];
+      if (e.type == 1) {
+        const SessionRecord& s = trace.sessions[indices[e.idx]];
+        ActivePeer peer;
+        peer.session = e.idx;
+        peer.user = s.user;
+        peer.isp = s.isp;
+        peer.exp = s.exp;
+        peer.pop = metro_->isp(s.isp).pop_of(s.exp);
+        peer.beta = s.beta().value();
+        peer.join_window = cur_w;
+        pos_[e.idx] = static_cast<std::int32_t>(active_.size());
+        active_.push_back(peer);
+      } else {
+        const auto i = static_cast<std::size_t>(pos_[e.idx]);
+        CL_ENSURES(pos_[e.idx] >= 0 && i < active_.size());
+        active_[i] = active_.back();
+        pos_[active_[i].session] = static_cast<std::int32_t>(i);
+        active_.pop_back();
+        pos_[e.idx] = -1;
+      }
+      ++k;
+    }
+    if (k == events_.size()) break;
+    const std::uint64_t next_w = events_[k].window;
+    if (!active_.empty()) process_span(cur_w, next_w);
+    cur_w = next_w;
+  }
+  CL_ENSURES(active_.empty());
+
+  out.total += swarm_traffic;
+  if (config_.collect_swarms) {
+    SwarmResult swarm;
+    swarm.key = key;
+    swarm.sessions = indices.size();
+    swarm.capacity =
+        trace.span.value() > 0 ? watch_seconds / trace.span.value() : 0;
+    swarm.traffic = swarm_traffic;
+    out.swarms.push_back(swarm);
+  }
+}
+
+}  // namespace cl

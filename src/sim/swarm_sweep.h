@@ -1,0 +1,66 @@
+// swarm_sweep.h — the self-contained per-swarm sweep unit of the hybrid
+// simulator.
+//
+// Swarms are independent given the (content, ISP, bitrate) partition
+// (paper Section IV.A), which makes the simulator embarrassingly parallel
+// *per swarm*. A SwarmSweep is one worker's sweep engine: it owns every
+// piece of scratch state the event-batched sweep needs (the join/leave
+// event vector, the active-peer list, the session→active index map, the
+// per-window allocation buffer) plus its own Matcher instance, and is
+// reused across all swarms that worker processes — after the first few
+// swarms the sweep runs allocation-free.
+//
+// A sweep accumulates into a partial SimResult; partials merge with
+// SimResult::merge (see sim/metrics.h) in ascending swarm-key order, so
+// the full simulation is bit-identical for every thread count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/matcher.h"
+#include "sim/metrics.h"
+#include "sim/sim_config.h"
+#include "sim/swarm_key.h"
+#include "topology/placement.h"
+#include "trace/session.h"
+
+namespace cl {
+
+/// One worker's reusable swarm-sweep engine.
+class SwarmSweep {
+ public:
+  /// `metro` supplies the per-ISP trees for locality lookups and must
+  /// outlive the sweep.
+  SwarmSweep(const Metro& metro, const SimConfig& config);
+
+  /// Sweeps one swarm (the sessions at `indices` into `trace`) and
+  /// accumulates its traffic into `out`. When `config.collect_per_day`
+  /// is set, `out.daily` grows lazily to cover the days the swarm
+  /// touches — SimResult::merge aligns differently grown grids, and
+  /// HybridSimulator::run pads the merged result to [days][isps].
+  void sweep(SwarmKey key, std::span<const std::uint32_t> indices,
+             const Trace& trace, SimResult& out);
+
+ private:
+  /// A join or leave of one swarm session at a window boundary.
+  struct Event {
+    std::uint64_t window = 0;
+    std::uint8_t type = 0;  ///< 0 = leave, 1 = join (leaves apply first)
+    std::uint32_t idx = 0;  ///< index within the swarm's session list
+  };
+
+  const Metro* metro_;
+  SimConfig config_;
+  std::unique_ptr<Matcher> matcher_;
+
+  // Scratch, reused across swarms (cleared, not reallocated).
+  std::vector<Event> events_;
+  std::vector<ActivePeer> active_;
+  std::vector<std::int32_t> pos_;
+  std::vector<PeerAllocation> alloc_;
+};
+
+}  // namespace cl

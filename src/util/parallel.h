@@ -15,6 +15,11 @@
 //    reductions (RunningStats::merge, Kahan-free sums) therefore produce
 //    the same bits at --threads 1 and --threads 64.
 //
+//  * parallel_chunked_reduce_stateful is the same reduction plus one
+//    scratch object per worker (reusable event/peer buffers, a Matcher
+//    instance), for chunk work with allocation-heavy inner loops — the
+//    simulator's per-swarm sweep is the canonical user.
+//
 // Exceptions thrown inside workers are captured and rethrown on the
 // calling thread (first one wins).
 #pragma once
@@ -110,20 +115,29 @@ void parallel_shards(std::size_t n, unsigned threads, Fn&& fn) {
 /// balance skewed work, large enough to amortise the merge.
 inline constexpr std::size_t kReduceChunk = 2048;
 
-/// Deterministic parallel reduction over [0, n).
+/// Deterministic parallel reduction over [0, n) with per-worker scratch
+/// state.
 ///
 /// The range is cut into fixed-length chunks (boundaries depend only on n,
 /// never on the thread count). Workers grab chunks from a shared atomic
-/// cursor and fold each with `chunk_fn(acc, begin, end)` into a fresh
-/// accumulator from `make_acc()`; afterwards the per-chunk accumulators
-/// are folded with `merge(total, chunk_acc)` in ascending chunk order on
-/// the calling thread. The merged result is therefore bit-identical for
-/// every thread count, including 1.
-template <typename MakeAcc, typename ChunkFn, typename Merge>
-auto parallel_chunked_reduce(std::size_t n, unsigned threads,
-                             MakeAcc&& make_acc, ChunkFn&& chunk_fn,
-                             Merge&& merge,
-                             std::size_t chunk_len = kReduceChunk) {
+/// cursor; each worker builds one `make_state()` scratch object the first
+/// time it obtains a chunk, and folds every chunk it processes with
+/// `chunk_fn(state, acc, begin, end)` into that chunk's fresh accumulator
+/// from `make_acc()`; afterwards the per-chunk accumulators are folded
+/// with `merge(total, chunk_acc)` in ascending chunk order on the calling
+/// thread. The merged result is therefore bit-identical for every thread
+/// count, including 1.
+///
+/// The worker state must be pure scratch (reusable buffers, matcher
+/// instances, ...): which worker processes which chunk is racy, so any
+/// state that influenced the accumulators would break determinism.
+template <typename MakeState, typename MakeAcc, typename ChunkFn,
+          typename Merge>
+auto parallel_chunked_reduce_stateful(std::size_t n, unsigned threads,
+                                      MakeState&& make_state,
+                                      MakeAcc&& make_acc, ChunkFn&& chunk_fn,
+                                      Merge&& merge,
+                                      std::size_t chunk_len = kReduceChunk) {
   using Acc = decltype(make_acc());
   Acc total = make_acc();
   if (n == 0) return total;
@@ -136,18 +150,35 @@ auto parallel_chunked_reduce(std::size_t n, unsigned threads,
   const unsigned t = resolve_threads(threads, chunks);
   std::atomic<std::size_t> cursor{0};
   detail::run_workers(t, [&](unsigned) {
-    for (std::size_t c = cursor.fetch_add(1, std::memory_order_relaxed);
-         c < chunks;
-         c = cursor.fetch_add(1, std::memory_order_relaxed)) {
+    std::size_t c = cursor.fetch_add(1, std::memory_order_relaxed);
+    if (c >= chunks) return;  // nothing left: skip the state construction
+    auto state = make_state();
+    for (; c < chunks; c = cursor.fetch_add(1, std::memory_order_relaxed)) {
       const std::size_t begin = c * chunk_len;
       const std::size_t end = std::min(n, begin + chunk_len);
-      chunk_fn(partial[c], begin, end);
+      chunk_fn(state, partial[c], begin, end);
     }
   });
   for (std::size_t c = 0; c < chunks; ++c) {
     merge(total, partial[c]);
   }
   return total;
+}
+
+/// Deterministic parallel reduction over [0, n) — the stateless variant:
+/// identical chunking/merge discipline, `chunk_fn(acc, begin, end)`.
+template <typename MakeAcc, typename ChunkFn, typename Merge>
+auto parallel_chunked_reduce(std::size_t n, unsigned threads,
+                             MakeAcc&& make_acc, ChunkFn&& chunk_fn,
+                             Merge&& merge,
+                             std::size_t chunk_len = kReduceChunk) {
+  using Acc = decltype(make_acc());
+  return parallel_chunked_reduce_stateful(
+      n, threads, [] { return 0; }, std::forward<MakeAcc>(make_acc),
+      [&chunk_fn](int, Acc& acc, std::size_t begin, std::size_t end) {
+        chunk_fn(acc, begin, end);
+      },
+      std::forward<Merge>(merge), chunk_len);
 }
 
 }  // namespace cl
