@@ -21,7 +21,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -126,14 +128,22 @@ class JsonObject {
 /// key model outputs and writes the BENCH_<name>.json file on finish().
 class Runner {
  public:
-  Runner(std::string name, int argc, const char* const* argv)
+  /// `extra` lets a bench consume flags beyond --json/--threads (e.g.
+  /// micro_trace_io's --sessions, fig4's --trace): it runs after the
+  /// standard flags are read and before the unknown-flag check, so
+  /// anything it reads is accepted and everything else still errors.
+  /// `boolean_flags` lists valueless switches for Args::parse.
+  Runner(std::string name, int argc, const char* const* argv,
+         const std::function<void(const Args&)>& extra = {},
+         std::set<std::string> boolean_flags = {})
       : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
     try {
-      const Args args = Args::parse(argc, argv);
+      const Args args = Args::parse(argc, argv, std::move(boolean_flags));
       json_path_ = args.get_or("json", "");
       const std::int64_t threads = args.get_int("threads", 1);
       if (threads < 0) throw ParseError("--threads must be >= 0");
       threads_ = static_cast<unsigned>(threads);
+      if (extra) extra(args);
       // A typo'd flag silently changing an experiment is worse than an
       // error (same policy as the CLI, see util/args.h).
       for (const auto& flag : args.unused()) {

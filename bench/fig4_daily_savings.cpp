@@ -4,26 +4,49 @@
 //
 // The paper plots ISP-1, ISP-4 and ISP-5 and reports ~30 % (Valancius) /
 // ~18 % (Baliga) average savings for the biggest ISP.
+//
+// Paper-scale runs: --paper-scale generates the full 3.3 M-user /
+// ~23.5 M-session month in-process, and --trace PATH replays a
+// pregenerated trace instead (use `cl generate --preset paper --format
+// binary` once, then reload the .cltrace in seconds per run).
 #include <iostream>
+#include <string>
 
 #include "bench_common.h"
 #include "bench_json.h"
 #include "core/analyzer.h"
+#include "trace/trace_format.h"
 #include "util/stats.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace cl;
-  bench::Runner run("fig4", argc, argv);
+  std::string trace_path;
+  bool paper_scale = false;
+  bench::Runner run(
+      "fig4", argc, argv,
+      [&](const Args& args) {
+        trace_path = args.get_or("trace", "");
+        paper_scale = args.has("paper-scale");
+      },
+      {"paper-scale"});
   bench::banner("Fig. 4 — daily aggregate savings per ISP (sim vs theory)",
                 "paper: ~30% (Valancius) / ~18% (Baliga) for the biggest "
                 "ISP, stable across the month");
 
-  TraceConfig config = TraceConfig::london_month_scaled();
-  config.threads = run.threads();
-  bench::print_trace_scale(config);
-  TraceGenerator gen(config, bench::metro());
-  const Trace trace = gen.generate();
+  Trace trace;
+  if (!trace_path.empty()) {
+    trace = read_trace_any(trace_path, TraceFormat::kAuto, run.threads());
+    std::cout << "workload: " << trace.size() << " sessions, "
+              << trace.span.value() / 86400.0 << " days, loaded from "
+              << trace_path << "\n\n";
+  } else {
+    TraceConfig config = paper_scale ? TraceConfig::london_month_paper()
+                                     : TraceConfig::london_month_scaled();
+    config.threads = run.threads();
+    bench::print_trace_scale(config);
+    trace = TraceGenerator(config, bench::metro()).generate();
+  }
   run.set_items(static_cast<double>(trace.size()), "sessions");
 
   SimConfig sim_config;

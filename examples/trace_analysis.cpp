@@ -1,18 +1,19 @@
 // trace_analysis — full pipeline on a workload trace.
 //
-// Generates a scaled London month (or loads a CSV trace given as argv[1];
-// see trace/trace_io.h for the format), runs the hybrid-CDN simulator,
-// and prints dataset statistics, headline savings, and the simulation-vs-
-// theory comparison per ISP.
+// Generates a scaled London month (or loads a trace given as argv[1] —
+// CSV or binary .cltrace, sniffed automatically; see trace/trace_io.h
+// and trace/trace_binary.h for the formats), runs the hybrid-CDN
+// simulator, and prints dataset statistics, headline savings, and the
+// simulation-vs-theory comparison per ISP.
 //
-// Usage:  ./build/examples/trace_analysis [trace.csv]
+// Usage:  ./build/examples/trace_analysis [trace.csv|trace.cltrace]
 #include <iostream>
 
 #include "core/analyzer.h"
 #include "core/report.h"
 #include "trace/filter.h"
 #include "trace/synthetic.h"
-#include "trace/trace_io.h"
+#include "trace/trace_format.h"
 #include "trace/trace_stats.h"
 #include "util/table.h"
 
@@ -23,10 +24,10 @@ int main(int argc, char** argv) {
   Trace trace;
   if (argc > 1) {
     std::cout << "loading trace from " << argv[1] << "\n";
-    trace = read_trace_file(argv[1]);
+    trace = read_trace_any(argv[1]);
   } else {
     std::cout << "generating a scaled synthetic London month "
-                 "(pass a CSV path to analyse a real trace)\n";
+                 "(pass a trace path to analyse a real trace)\n";
     TraceGenerator gen(TraceConfig::london_month_scaled(/*days=*/10), metro);
     trace = gen.generate();
   }

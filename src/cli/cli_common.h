@@ -6,7 +6,7 @@
 #include "sim/sim_config.h"
 #include "topology/placement.h"
 #include "trace/synthetic.h"
-#include "trace/trace_io.h"
+#include "trace/trace_format.h"
 #include "util/args.h"
 #include "util/error.h"
 
@@ -27,11 +27,19 @@ inline unsigned threads_from(const Args& args) {
   return static_cast<unsigned>(threads);
 }
 
-/// Loads --trace PATH, or generates a scaled synthetic month when the
-/// flag is absent (--days / --seed apply to the generated fallback).
+/// Shared --format / --from / --to knobs: "auto" (default) sniffs the
+/// `.cltrace` magic when reading and goes by extension when writing.
+inline TraceFormat trace_format_from(const Args& args,
+                                     const std::string& flag = "format") {
+  return trace_format_from_string(args.get_or(flag, "auto"));
+}
+
+/// Loads --trace PATH (CSV or binary, per --format / sniffing), or
+/// generates a scaled synthetic month when the flag is absent
+/// (--days / --seed apply to the generated fallback).
 inline Trace load_or_generate(const Args& args) {
   if (const auto path = args.get("trace")) {
-    return read_trace_file(*path);
+    return read_trace_any(*path, trace_format_from(args), threads_from(args));
   }
   TraceConfig config =
       TraceConfig::london_month_scaled(args.get_double("days", 10));

@@ -6,7 +6,6 @@
 #include "core/report.h"
 #include "topology/placement.h"
 #include "trace/synthetic.h"
-#include "trace/trace_io.h"
 #include "trace/trace_stats.h"
 #include "util/error.h"
 
@@ -19,6 +18,8 @@ TraceConfig preset_config(const Args& args) {
   TraceConfig config;
   if (preset == "london") {
     config = TraceConfig::london_month_scaled(args.get_double("days", 30));
+  } else if (preset == "paper") {
+    config = TraceConfig::london_month_paper(args.get_double("days", 30));
   } else if (preset == "small") {
     config.days = args.get_double("days", 7);
     config.users = 5000;
@@ -26,7 +27,7 @@ TraceConfig preset_config(const Args& args) {
     config.catalogue_tail = 300;
     config.tail_views = 20000;
   } else {
-    throw ParseError("unknown preset '" + preset + "' (london|small)");
+    throw ParseError("unknown preset '" + preset + "' (london|paper|small)");
   }
   config.days = args.get_double("days", config.days);
   config.seed = static_cast<std::uint64_t>(
@@ -46,7 +47,7 @@ int cmd_generate(const Args& args) {
   const Metro metro = Metro::london_top5();
   TraceGenerator generator(config, metro);
   const Trace trace = generator.generate();
-  write_trace_file(*out_path, trace);
+  write_trace_any(*out_path, trace, trace_format_from(args));
   if (!args.has("quiet")) {
     std::cout << "wrote " << trace.size() << " sessions ("
               << config.days << " days, seed " << config.seed << ") to "

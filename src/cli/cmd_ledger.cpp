@@ -29,10 +29,14 @@ int usage(int exit_code) {
 usage: consumelocal COMMAND [flags]
 
 commands:
-  generate  --out PATH [--preset london|small] [--days N] [--seed S]
-            [--users N] [--threads N]
-                                  write a synthetic workload trace (CSV)
-  simulate  [--trace PATH] [--qb R] [--cross-isp] [--mixed-bitrate]
+  generate  --out PATH [--preset london|paper|small] [--days N] [--seed S]
+            [--users N] [--format auto|csv|binary] [--threads N]
+                                  write a synthetic workload trace
+  convert   --in PATH --out PATH [--from auto|csv|binary]
+            [--to auto|csv|binary] [--threads N]
+                                  convert between CSV and binary .cltrace
+  simulate  [--trace PATH] [--format auto|csv|binary] [--qb R]
+            [--cross-isp] [--mixed-bitrate]
             [--matcher existence|capacity] [--threads N]
                                   aggregate hybrid-vs-CDN savings report
   swarm     [--trace PATH] --content ID [--isp I] [--qb R]
@@ -45,9 +49,12 @@ commands:
                                   per-user carbon credit ledger
 
 Commands that accept --trace generate a scaled synthetic London month when
-the flag is omitted. --threads N shards trace generation, the simulator's
-per-swarm sweep, and analysis
-across N workers (0 = all cores); results are bit-identical at any N.
+the flag is omitted, and read both trace formats: CSV for interchange and
+the binary columnar `.cltrace` (mmap-loaded, no parsing — use it for
+month-scale traces; "auto" sniffs the format). --threads N shards trace
+generation, binary trace loading, the simulator's per-swarm sweep, and
+analysis across N workers (0 = all cores); results are bit-identical at
+any N.
 )";
   return exit_code;
 }

@@ -8,14 +8,21 @@
 
 namespace cl::cli {
 
-/// `generate` — write a synthetic trace CSV.
+/// `generate` — write a synthetic trace (CSV or binary .cltrace).
 ///   --out PATH (required), --days N, --seed S, --users N,
-///   --preset london|small, --threads N (sharded generation)
+///   --preset london|paper|small, --format auto|csv|binary,
+///   --threads N (sharded generation)
 int cmd_generate(const Args& args);
+
+/// `convert` — convert a trace between CSV and binary .cltrace.
+///   --in PATH, --out PATH (required), --from/--to auto|csv|binary,
+///   --threads N (sharded binary load)
+int cmd_convert(const Args& args);
 
 /// `simulate` — run the hybrid-CDN simulator over a trace and print the
 /// aggregate savings report.
-///   --trace PATH (required; or --preset to self-generate), --qb R,
+///   --trace PATH (required; or --preset to self-generate),
+///   --format auto|csv|binary, --qb R,
 ///   --cross-isp, --mixed-bitrate, --matcher existence|capacity,
 ///   --threads N (sharded generation/simulation/analysis)
 int cmd_simulate(const Args& args);

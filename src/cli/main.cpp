@@ -1,7 +1,8 @@
 // main.cpp — `consumelocal`, the command-line front end of the library.
 //
-//   consumelocal generate --out month.csv --days 30
-//   consumelocal simulate --trace month.csv
+//   consumelocal generate --out month.cltrace --days 30
+//   consumelocal convert  --in month.cltrace --out month.csv
+//   consumelocal simulate --trace month.cltrace
 //   consumelocal swarm    --trace month.csv --content 0 --isp 0
 //   consumelocal model    --capacity 50 --qb 1.0
 //   consumelocal plan     --target 0.3
@@ -24,6 +25,8 @@ int main(int argc, char** argv) {
     int code = 0;
     if (command == "generate") {
       code = cmd_generate(args);
+    } else if (command == "convert") {
+      code = cmd_convert(args);
     } else if (command == "simulate") {
       code = cmd_simulate(args);
     } else if (command == "swarm") {

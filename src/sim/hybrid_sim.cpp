@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "sim/swarm_sweep.h"
+#include "trace/swarm_index.h"
 #include "util/error.h"
 #include "util/parallel.h"
 
@@ -24,6 +26,59 @@ namespace {
 /// engage several workers.
 std::size_t swarms_per_chunk(std::size_t swarms) {
   return std::clamp<std::size_t>(swarms / 64, 1, 8);
+}
+
+/// One swarm to sweep: its key plus a view of the session indices. The
+/// span points into either the trace's persisted swarm index or the
+/// grouping map built below — both outlive the sweep.
+using SwarmEntry = std::pair<SwarmKey, std::span<const std::uint32_t>>;
+
+/// Swarm list from the trace's persisted full-key index — no hashing, no
+/// re-sorting. Only valid when the config keys swarms by the full
+/// (content, ISP, bitrate) tuple, i.e. the index's own partition.
+std::vector<SwarmEntry> swarms_from_index(const Trace& trace) {
+  std::vector<SwarmEntry> swarms;
+  swarms.reserve(trace.swarm_index.groups.size());
+  for (const SwarmIndexGroup& group : trace.swarm_index.groups) {
+    SwarmKey key;
+    key.content = group.content;
+    key.isp = group.isp;
+    key.bitrate = group.bitrate;
+    swarms.emplace_back(
+        key, std::span<const std::uint32_t>(
+                 trace.swarm_index.order.data() + group.begin, group.count));
+  }
+  return swarms;
+}
+
+/// Swarm list via hash grouping (relaxed keys, or traces without an
+/// index). `groups` is an out-parameter purely to own the index vectors
+/// the returned spans point into.
+std::vector<SwarmEntry> swarms_by_grouping(
+    const Trace& trace, const SimConfig& config,
+    std::unordered_map<SwarmKey, std::vector<std::uint32_t>>& groups) {
+  groups.reserve(1024);
+  for (std::uint32_t i = 0; i < trace.sessions.size(); ++i) {
+    groups[swarm_key_for(trace.sessions[i], config)].push_back(i);
+  }
+  // Deterministic sweep order (unordered_map order is
+  // implementation-defined and would perturb floating-point accumulation).
+  // Lexicographic (content, isp, bitrate) — the swarm index's order, and
+  // identical to ascending packed() keys for every real topology.
+  std::vector<SwarmEntry> swarms;
+  swarms.reserve(groups.size());
+  for (const auto& [key, indices] : groups) {
+    swarms.emplace_back(key, std::span<const std::uint32_t>(indices));
+  }
+  std::sort(swarms.begin(), swarms.end(),
+            [](const SwarmEntry& a, const SwarmEntry& b) {
+              if (a.first.content != b.first.content) {
+                return a.first.content < b.first.content;
+              }
+              if (a.first.isp != b.first.isp) return a.first.isp < b.first.isp;
+              return a.first.bitrate < b.first.bitrate;
+            });
+  return swarms;
 }
 
 }  // namespace
@@ -46,21 +101,20 @@ SimResult HybridSimulator::run(const Trace& trace) const {
     return partial;
   };
 
+  // Under the paper's full (content, ISP, bitrate) partition, a trace
+  // loaded from the binary columnar format already carries its swarms in
+  // sweep order — consume the index instead of re-grouping. Relaxed
+  // partitions (cross-ISP / mixed-bitrate ablations) and index-less
+  // traces group through a hash map as before; both paths emit the same
+  // key order, so results are bit-identical between them.
+  const bool index_usable =
+      config_.isp_friendly && config_.split_by_bitrate &&
+      !trace.swarm_index.empty() &&
+      trace.swarm_index.order.size() == trace.sessions.size();
   std::unordered_map<SwarmKey, std::vector<std::uint32_t>> groups;
-  groups.reserve(1024);
-  for (std::uint32_t i = 0; i < trace.sessions.size(); ++i) {
-    groups[swarm_key_for(trace.sessions[i], config_)].push_back(i);
-  }
-  // Deterministic sweep order (unordered_map order is
-  // implementation-defined and would perturb floating-point accumulation).
-  std::vector<const std::pair<const SwarmKey, std::vector<std::uint32_t>>*>
-      ordered;
-  ordered.reserve(groups.size());
-  for (const auto& entry : groups) ordered.push_back(&entry);
-  std::sort(ordered.begin(), ordered.end(),
-            [](const auto* a, const auto* b) {
-              return a->first.packed() < b->first.packed();
-            });
+  const std::vector<SwarmEntry> swarms =
+      index_usable ? swarms_from_index(trace)
+                   : swarms_by_grouping(trace, config_, groups);
 
   // Shard the key-ordered swarm list across workers: each worker reuses
   // one SwarmSweep (scratch buffers + matcher) for every swarm it sweeps,
@@ -68,16 +122,16 @@ SimResult HybridSimulator::run(const Trace& trace) const {
   // partials merge in ascending swarm-key order — bit-identical results
   // at every thread count (the util/parallel.h contract).
   SimResult result = parallel_chunked_reduce_stateful(
-      ordered.size(), config_.threads,
+      swarms.size(), config_.threads,
       [&] { return SwarmSweep(*metro_, config_); }, make_partial,
       [&](SwarmSweep& sweep, SimResult& acc, std::size_t begin,
           std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
-          sweep.sweep(ordered[i]->first, ordered[i]->second, trace, acc);
+          sweep.sweep(swarms[i].first, swarms[i].second, trace, acc);
         }
       },
       [](SimResult& merged, const SimResult& chunk) { merged.merge(chunk); },
-      swarms_per_chunk(ordered.size()));
+      swarms_per_chunk(swarms.size()));
 
   if (config_.collect_per_day) {
     // Pad to the full [days][isps] shape (traffic-free cells stay zero).

@@ -21,6 +21,11 @@
 // partials merge in ascending swarm-key order, making the full result
 // bit-identical at every thread count (see DESIGN.md §"Parallel execution
 // model").
+//
+// Traces loaded from the binary columnar format carry a persisted
+// swarm-key-sorted index (trace/swarm_index.h); under the default full
+// (content, ISP, bitrate) partition run() consumes it directly instead
+// of re-grouping — same key order, bit-identical results either way.
 #pragma once
 
 #include "sim/metrics.h"

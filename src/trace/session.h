@@ -34,10 +34,48 @@ struct SessionRecord {
   [[nodiscard]] Bits volume() const { return beta() * watch_time(); }
 };
 
+/// One swarm's slice of a SwarmIndex: the full-width
+/// (content, isp, bitrate) key plus the half-open range
+/// [begin, begin+count) into SwarmIndex::order.
+struct SwarmIndexGroup {
+  std::uint32_t content = 0;
+  std::uint32_t isp = 0;
+  std::uint8_t bitrate = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t count = 0;
+};
+
+/// Swarm-key-sorted permutation of a trace's session indices: groups
+/// ascend by (content, isp, bitrate) and session indices ascend within
+/// each group — the simulator's deterministic sweep order. Built by
+/// trace/swarm_index.h and persisted by the binary trace format so
+/// month-scale traces skip the per-run grouping pass.
+struct SwarmIndex {
+  std::vector<SwarmIndexGroup> groups;  ///< ascending (content, isp, bitrate)
+  std::vector<std::uint32_t> order;     ///< grouped session indices
+
+  [[nodiscard]] bool empty() const { return order.empty(); }
+
+  /// Strict-weak ordering of group keys (lexicographic full-width tuple).
+  [[nodiscard]] static bool key_less(const SwarmIndexGroup& a,
+                                     const SwarmIndexGroup& b) {
+    if (a.content != b.content) return a.content < b.content;
+    if (a.isp != b.isp) return a.isp < b.isp;
+    return a.bitrate < b.bitrate;
+  }
+};
+
 /// A workload trace: flat, start-time-ordered session list plus its span.
 struct Trace {
   std::vector<SessionRecord> sessions;
   Seconds span;  ///< total covered duration (epoch 0 .. span)
+
+  /// Optional pre-computed full-key swarm index (loaded from a binary
+  /// trace, or built with trace/swarm_index.h). Empty for CSV-loaded and
+  /// filtered traces; when present and sized to `sessions`, the
+  /// simulator's default (content, ISP, bitrate) grouping consumes it
+  /// instead of re-grouping.
+  SwarmIndex swarm_index;
 
   [[nodiscard]] bool empty() const { return sessions.empty(); }
   [[nodiscard]] std::size_t size() const { return sessions.size(); }

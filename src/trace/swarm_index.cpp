@@ -1,0 +1,98 @@
+#include "trace/swarm_index.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.h"
+
+namespace cl {
+
+SwarmIndex build_swarm_index(const Trace& trace) {
+  const std::size_t n = trace.sessions.size();
+  CL_EXPECTS(n <= std::numeric_limits<std::uint32_t>::max());
+
+  SwarmIndex index;
+  index.order.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) index.order[i] = i;
+  // Sort by (content, isp, bitrate, session index): groups come out in
+  // ascending key order with ascending indices inside each group — the
+  // exact order the simulator's hash-grouping path produces.
+  std::sort(index.order.begin(), index.order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const SessionRecord& sa = trace.sessions[a];
+              const SessionRecord& sb = trace.sessions[b];
+              if (sa.content != sb.content) return sa.content < sb.content;
+              if (sa.isp != sb.isp) return sa.isp < sb.isp;
+              if (sa.bitrate != sb.bitrate) return sa.bitrate < sb.bitrate;
+              return a < b;
+            });
+
+  for (std::size_t i = 0; i < n;) {
+    const SessionRecord& first = trace.sessions[index.order[i]];
+    SwarmIndexGroup group;
+    group.content = first.content;
+    group.isp = first.isp;
+    group.bitrate = static_cast<std::uint8_t>(first.bitrate);
+    group.begin = i;
+    std::size_t end = i + 1;
+    while (end < n) {
+      const SessionRecord& s = trace.sessions[index.order[end]];
+      if (s.content != first.content || s.isp != first.isp ||
+          s.bitrate != first.bitrate) {
+        break;
+      }
+      ++end;
+    }
+    group.count = end - i;
+    index.groups.push_back(group);
+    i = end;
+  }
+  return index;
+}
+
+void validate_swarm_index(const SwarmIndex& index, const Trace& trace) {
+  const std::size_t n = trace.sessions.size();
+  if (index.order.size() != n) {
+    throw ParseError("swarm index order length does not match session count");
+  }
+  std::uint64_t covered = 0;
+  const SwarmIndexGroup* prev = nullptr;
+  for (const SwarmIndexGroup& group : index.groups) {
+    if (group.count == 0) {
+      throw ParseError("swarm index contains an empty group");
+    }
+    if (group.begin != covered) {
+      throw ParseError("swarm index groups do not tile the order vector");
+    }
+    if (prev != nullptr && !SwarmIndex::key_less(*prev, group)) {
+      throw ParseError("swarm index group keys are not strictly ascending");
+    }
+    if (group.begin + group.count > n) {
+      throw ParseError("swarm index group overruns the order vector");
+    }
+    std::uint32_t prev_session = 0;
+    for (std::uint64_t i = group.begin; i < group.begin + group.count; ++i) {
+      const std::uint32_t session_index = index.order[i];
+      if (session_index >= n) {
+        throw ParseError("swarm index references an out-of-range session");
+      }
+      if (i > group.begin && session_index <= prev_session) {
+        throw ParseError(
+            "swarm index session order is not ascending within a group");
+      }
+      prev_session = session_index;
+      const SessionRecord& s = trace.sessions[session_index];
+      if (s.content != group.content || s.isp != group.isp ||
+          static_cast<std::uint8_t>(s.bitrate) != group.bitrate) {
+        throw ParseError("swarm index group key does not match its sessions");
+      }
+    }
+    covered += group.count;
+    prev = &group;
+  }
+  if (covered != n) {
+    throw ParseError("swarm index groups do not cover every session");
+  }
+}
+
+}  // namespace cl

@@ -1,0 +1,49 @@
+// swarm_index.h — building and validating the swarm-key-sorted session
+// index of a trace (the SwarmIndex struct itself lives in
+// trace/session.h, as part of the Trace data model).
+//
+// The simulator partitions sessions into swarms keyed by
+// (content, ISP, bitrate class) — the paper's ISP-friendly, bitrate-split
+// setting. Grouping 23.5M sessions through a hash map on every run is
+// pure overhead when the trace is immutable on disk, so the binary trace
+// format (trace/trace_binary.h) persists this index next to the columns:
+// one permutation of session indices, grouped by swarm key in ascending
+// key order, ascending session index within each group — exactly the
+// deterministic sweep order HybridSimulator::run derives itself. A loaded
+// index lets the simulator skip the grouping pass entirely.
+//
+// Key order: groups sort lexicographically by (content, isp, bitrate),
+// which equals the ascending SwarmKey::packed() order for every real
+// topology (packed() masks the ISP to 24 bits; ISP indices are tiny).
+#pragma once
+
+#include <cstdint>
+
+#include "trace/session.h"
+
+namespace cl {
+
+/// Packs a full (content, isp, bitrate) key into the same 64-bit layout
+/// as sim/swarm_key.h's SwarmKey::packed() — pinned by a test so the two
+/// layers cannot drift apart.
+[[nodiscard]] constexpr std::uint64_t packed_swarm_key(std::uint32_t content,
+                                                       std::uint32_t isp,
+                                                       std::uint8_t bitrate) {
+  return (static_cast<std::uint64_t>(content) << 32) |
+         (static_cast<std::uint64_t>(isp & 0xffffffu) << 8) |
+         static_cast<std::uint64_t>(bitrate);
+}
+
+/// Builds the full-key swarm index of a trace. Requires
+/// trace.sessions.size() to fit std::uint32_t (the index element width).
+[[nodiscard]] SwarmIndex build_swarm_index(const Trace& trace);
+
+/// Verifies that `index` is a correct swarm index of `trace`: the order
+/// vector is a permutation of [0, n) whose groups cover it exactly, group
+/// keys are strictly ascending, session indices ascend within each group,
+/// and every indexed session's fields match its group key. Throws
+/// cl::ParseError on any violation (the caller is typically validating
+/// untrusted on-disk data).
+void validate_swarm_index(const SwarmIndex& index, const Trace& trace);
+
+}  // namespace cl

@@ -92,6 +92,16 @@ struct TraceConfig {
   ///    Baliga).
   [[nodiscard]] static TraceConfig london_month_scaled(double days = 30);
 
+  /// The full 1:1 paper-scale London month: 3.3 M users, ~23.5 M sessions
+  /// (Table I). The Fig. 2 exemplars and the top-episode head keep the
+  /// same absolute monthly views as the scaled config — per-swarm
+  /// capacities, not the population, carry the savings results — while
+  /// the long tail grows to the full catalogue's breadth so the session
+  /// total matches the paper. Generate once with `cl generate --preset
+  /// paper --format binary` and reload the .cltrace in seconds; see
+  /// ROADMAP "Paper-scale workload".
+  [[nodiscard]] static TraceConfig london_month_paper(double days = 30);
+
   /// Trace span in seconds.
   [[nodiscard]] Seconds span() const { return Seconds::from_days(days); }
 };

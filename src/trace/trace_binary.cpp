@@ -1,0 +1,191 @@
+#include "trace/trace_binary.h"
+
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "trace/swarm_index.h"
+#include "util/error.h"
+#include "util/serialize.h"
+
+namespace cl {
+
+namespace {
+
+std::size_t align_up(std::size_t offset) {
+  const std::size_t rem = offset % kTraceBinaryAlignment;
+  return rem == 0 ? offset : offset + (kTraceBinaryAlignment - rem);
+}
+
+void write_all(std::ostream& out, const std::string& bytes) {
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Serializes one block's payload. Blocks are built (and freed) one at a
+/// time so the writer's transient memory is one column, not the file —
+/// at paper scale the file is ~1 GB and the Trace itself ~1.1 GB, so
+/// materializing a second full image would triple the peak.
+std::string block_bytes(std::uint32_t id, const Trace& trace,
+                        const SwarmIndex& index) {
+  const std::size_t n = trace.sessions.size();
+  std::string bytes;
+  switch (id) {
+    case 0:
+      bytes.reserve(n * 4);
+      for (const SessionRecord& s : trace.sessions) {
+        append_u32_le(bytes, s.user);
+      }
+      break;
+    case 1:
+      bytes.reserve(n * 4);
+      for (const SessionRecord& s : trace.sessions) {
+        append_u32_le(bytes, s.household);
+      }
+      break;
+    case 2:
+      bytes.reserve(n * 4);
+      for (const SessionRecord& s : trace.sessions) {
+        append_u32_le(bytes, s.content);
+      }
+      break;
+    case 3:
+      bytes.reserve(n * 4);
+      for (const SessionRecord& s : trace.sessions) {
+        append_u32_le(bytes, s.isp);
+      }
+      break;
+    case 4:
+      bytes.reserve(n * 4);
+      for (const SessionRecord& s : trace.sessions) {
+        append_u32_le(bytes, s.exp);
+      }
+      break;
+    case 5:
+      bytes.reserve(n);
+      for (const SessionRecord& s : trace.sessions) {
+        bytes.push_back(static_cast<char>(s.bitrate));
+      }
+      break;
+    case 6:
+      bytes.reserve(n * 8);
+      for (const SessionRecord& s : trace.sessions) {
+        append_f64_le(bytes, s.start);
+      }
+      break;
+    case 7:
+      bytes.reserve(n * 8);
+      for (const SessionRecord& s : trace.sessions) {
+        append_f64_le(bytes, s.duration);
+      }
+      break;
+    case 8:
+      bytes.reserve(index.groups.size() * 4);
+      for (const SwarmIndexGroup& g : index.groups) {
+        append_u32_le(bytes, g.content);
+      }
+      break;
+    case 9:
+      bytes.reserve(index.groups.size() * 4);
+      for (const SwarmIndexGroup& g : index.groups) {
+        append_u32_le(bytes, g.isp);
+      }
+      break;
+    case 10:
+      bytes.reserve(index.groups.size());
+      for (const SwarmIndexGroup& g : index.groups) {
+        bytes.push_back(static_cast<char>(g.bitrate));
+      }
+      break;
+    case 11:
+      bytes.reserve(index.groups.size() * 8);
+      for (const SwarmIndexGroup& g : index.groups) {
+        append_u64_le(bytes, g.count);
+      }
+      break;
+    case 12:
+      bytes.reserve(index.order.size() * 4);
+      for (const std::uint32_t i : index.order) append_u32_le(bytes, i);
+      break;
+    default:
+      CL_EXPECTS(id < kTraceBinaryBlockCount);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+void write_trace_binary(std::ostream& out, const Trace& trace) {
+  const std::size_t n = trace.sessions.size();
+  CL_EXPECTS(n <= std::numeric_limits<std::uint32_t>::max());
+
+  const SwarmIndex built =
+      trace.swarm_index.empty() && n > 0 ? build_swarm_index(trace)
+                                         : SwarmIndex{};
+  const SwarmIndex& index =
+      trace.swarm_index.empty() && n > 0 ? built : trace.swarm_index;
+  validate_swarm_index(index, trace);
+  const std::size_t groups = index.groups.size();
+
+  // Every block's size is a function of (n, groups) alone, so the whole
+  // layout — offsets included — is computed before a single payload byte
+  // is built.
+  std::uint64_t offsets[kTraceBinaryBlockCount];
+  std::size_t cursor = align_up(kTraceBinaryHeaderBytes +
+                                kTraceBinaryBlockCount *
+                                    kTraceBinaryDirEntryBytes);
+  std::size_t total = cursor;
+  for (std::uint32_t id = 0; id < kTraceBinaryBlockCount; ++id) {
+    const std::size_t count = kTraceBinaryCountIsSessions[id] ? n : groups;
+    offsets[id] = cursor;
+    total = cursor + count * kTraceBinaryElemSize[id];
+    cursor = align_up(total);
+  }
+
+  std::string header;
+  header.reserve(kTraceBinaryHeaderBytes +
+                 kTraceBinaryBlockCount * kTraceBinaryDirEntryBytes);
+  header.append(reinterpret_cast<const char*>(kTraceBinaryMagic),
+                sizeof kTraceBinaryMagic);
+  append_u32_le(header, kTraceBinaryVersion);
+  append_u32_le(header, 0);  // reserved flags
+  append_u64_le(header, n);
+  append_f64_le(header, trace.span.value());
+  append_u32_le(header, kTraceBinaryBlockCount);
+  append_u32_le(header, 0);  // reserved
+  for (std::uint32_t id = 0; id < kTraceBinaryBlockCount; ++id) {
+    append_u32_le(header, id);
+    append_u32_le(header, kTraceBinaryElemSize[id]);
+    append_u64_le(header, offsets[id]);
+    append_u64_le(header,
+                  kTraceBinaryCountIsSessions[id] ? n : groups);
+  }
+  write_all(out, header);
+
+  std::size_t written = header.size();
+  for (std::uint32_t id = 0; id < kTraceBinaryBlockCount; ++id) {
+    out.write(std::string(offsets[id] - written, '\0').data(),
+              static_cast<std::streamsize>(offsets[id] - written));
+    const std::string bytes = block_bytes(id, trace, index);
+    write_all(out, bytes);
+    written = offsets[id] + bytes.size();
+  }
+  CL_ENSURES(written == total);
+}
+
+std::string serialize_trace_binary(const Trace& trace) {
+  std::ostringstream out;
+  write_trace_binary(out, trace);
+  return std::move(out).str();
+}
+
+void write_trace_binary_file(const std::string& path, const Trace& trace) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw IoError("cannot create trace file: " + path);
+  write_trace_binary(out, trace);
+  out.flush();
+  if (!out) throw IoError("failed writing trace file: " + path);
+}
+
+}  // namespace cl

@@ -1,0 +1,108 @@
+// trace_binary.h — the `.cltrace` binary columnar trace format (writer
+// side; the mmap reader lives in trace/trace_mmap.h).
+//
+// Month-scale traces (paper scale: 23.5M sessions) cannot be re-parsed
+// from CSV on every run — row-oriented text parsing dominates end-to-end
+// wall time once the simulator itself is parallel. `.cltrace` stores the
+// same sessions as fixed-width little-endian *columns* plus the
+// swarm-key-sorted session index (trace/swarm_index.h), so a loader can
+// shard column ranges across threads and materialize sessions without
+// parsing a single byte of text.
+//
+// On-disk layout (version 1, everything little-endian):
+//
+//   offset  size  field
+//   0       8     magic "CLTRACE\0"
+//   8       4     format version (u32) = 1
+//   12      4     reserved flags (u32) = 0
+//   16      8     session count n (u64)
+//   24      8     trace span in seconds (f64, IEEE-754 bit pattern)
+//   32      4     block count (u32) = 13
+//   36      4     reserved (u32) = 0
+//   40      ...   block directory: 13 × {id u32, elem_size u32,
+//                 offset u64, count u64} (24 bytes per entry)
+//   ...     ...   payload blocks, each 64-byte aligned, zero padding
+//
+// Blocks (ids are stable; a reader must find every id exactly once):
+//
+//   id  content            element  count
+//   0   user               u32      n
+//   1   household          u32      n
+//   2   content            u32      n
+//   3   isp                u32      n
+//   4   exp                u32      n
+//   5   bitrate class      u8       n
+//   6   start seconds      f64      n
+//   7   duration seconds   f64      n
+//   8   index group content  u32    g   (swarm index, g groups)
+//   9   index group isp      u32    g
+//   10  index group bitrate  u8     g
+//   11  index group count    u64    g
+//   12  index session order  u32    n
+//
+// Sessions are stored in the trace's start-time order; the index blocks
+// are the swarm-key-sorted permutation. The expected file size is implied
+// by the directory, and readers reject both truncated and trailing bytes.
+//
+// Version policy: any layout change — new/removed blocks, different
+// element widths, reordered header fields — bumps kTraceBinaryVersion and
+// the golden file under tests/data/. Readers reject other versions
+// outright (no silent best-effort decoding of a mislabeled layout).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "trace/session.h"
+
+namespace cl {
+
+/// Magic bytes at offset 0 of every `.cltrace` file.
+inline constexpr unsigned char kTraceBinaryMagic[8] = {'C', 'L', 'T', 'R',
+                                                       'A', 'C', 'E', '\0'};
+
+/// Current format version (see the version policy above).
+inline constexpr std::uint32_t kTraceBinaryVersion = 1;
+
+/// Payload blocks start on multiples of this (room for future zero-copy
+/// typed views; padding bytes are zero).
+inline constexpr std::size_t kTraceBinaryAlignment = 64;
+
+/// Number of blocks in a version-1 file.
+inline constexpr std::uint32_t kTraceBinaryBlockCount = 13;
+
+/// Size of the fixed header preceding the block directory.
+inline constexpr std::size_t kTraceBinaryHeaderBytes = 40;
+
+/// Size of one block-directory entry ({id, elem_size, offset, count}).
+inline constexpr std::size_t kTraceBinaryDirEntryBytes = 24;
+
+/// Element width of each block, indexed by block id (see the table above).
+inline constexpr std::uint32_t kTraceBinaryElemSize[kTraceBinaryBlockCount] =
+    {4, 4, 4, 4, 4, 1, 8, 8,  // session columns
+     4, 4, 1, 8,              // index group columns
+     4};                      // index order
+
+/// True for blocks whose element count is the session count n (the rest
+/// hold one element per swarm-index group).
+inline constexpr bool kTraceBinaryCountIsSessions[kTraceBinaryBlockCount] =
+    {true, true, true, true, true, true, true, true,
+     false, false, false, false,
+     true};
+
+/// Serializes a trace into the `.cltrace` byte layout. Builds the swarm
+/// index with build_swarm_index when trace.swarm_index is empty, and
+/// persists the existing one otherwise (it must validate against the
+/// sessions). Deterministic: identical traces produce identical bytes.
+[[nodiscard]] std::string serialize_trace_binary(const Trace& trace);
+
+/// Writes serialize_trace_binary's bytes to a stream.
+void write_trace_binary(std::ostream& out, const Trace& trace);
+
+/// Writes a `.cltrace` file; throws cl::IoError when the file cannot be
+/// created or fully written.
+void write_trace_binary_file(const std::string& path, const Trace& trace);
+
+}  // namespace cl

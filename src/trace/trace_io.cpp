@@ -4,6 +4,7 @@
 #include <charconv>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 #include "util/csv.h"
 #include "util/error.h"
@@ -33,7 +34,13 @@ std::uint32_t parse_u32(const std::string& text, const char* what) {
 }  // namespace
 
 void write_trace(std::ostream& out, const Trace& trace) {
-  out << "#span=" << trace.span.value() << '\n';
+  // Shortest round-trip formatting — streaming the double directly would
+  // truncate to 6 significant digits, and a span that reads back smaller
+  // than a session's end makes the reader reject its own writer's output.
+  char span_buf[64];
+  const auto span_res = std::to_chars(
+      span_buf, span_buf + sizeof span_buf, trace.span.value());
+  out << "#span=" << std::string_view(span_buf, span_res.ptr) << '\n';
   CsvWriter writer(out, {"user", "household", "content", "isp", "exp",
                          "bitrate", "start", "duration"});
   for (const auto& s : trace.sessions) {
@@ -54,6 +61,7 @@ Trace read_trace(std::istream& in) {
   if (in.peek() == '#') {
     std::string comment;
     std::getline(in, comment);
+    if (!comment.empty() && comment.back() == '\r') comment.pop_back();
     const auto eq = comment.find('=');
     if (comment.rfind("#span=", 0) == 0 && eq != std::string::npos) {
       span = parse_double(comment.substr(eq + 1), "span");
@@ -85,10 +93,14 @@ Trace read_trace(std::istream& in) {
     max_end = std::max(max_end, s.end());
     trace.sessions.push_back(s);
   }
-  std::sort(trace.sessions.begin(), trace.sessions.end(),
-            [](const SessionRecord& a, const SessionRecord& b) {
-              return a.start < b.start;
-            });
+  // Stable: rows sharing a start time (quantized timestamps are common in
+  // anonymised traces) keep their file order, so write -> read -> write
+  // reproduces the file byte-exactly (the `cl convert` round-trip
+  // contract).
+  std::stable_sort(trace.sessions.begin(), trace.sessions.end(),
+                   [](const SessionRecord& a, const SessionRecord& b) {
+                     return a.start < b.start;
+                   });
   trace.span = Seconds{span >= 0 ? span : max_end};
   trace.validate();
   return trace;

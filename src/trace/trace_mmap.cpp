@@ -1,0 +1,210 @@
+#include "trace/trace_mmap.h"
+
+#include <cstring>
+#include <limits>
+
+#include "trace/bitrate.h"
+#include "trace/swarm_index.h"
+#include "trace/trace_binary.h"
+#include "util/error.h"
+#include "util/parallel.h"
+#include "util/serialize.h"
+
+namespace cl {
+
+namespace {
+
+// Layout constants are shared with the writer via trace_binary.h
+// (kTraceBinaryHeaderBytes, kTraceBinaryDirEntryBytes,
+// kTraceBinaryElemSize, kTraceBinaryCountIsSessions) — the two sides
+// cannot drift apart.
+
+[[noreturn]] void corrupt(const std::string& what) {
+  throw ParseError("corrupt .cltrace file: " + what);
+}
+
+}  // namespace
+
+MappedTrace::MappedTrace(const std::string& path) : file_(path) {
+  if (file_.size() < kTraceBinaryHeaderBytes) {
+    corrupt("shorter than the fixed header (" + std::to_string(file_.size()) +
+            " bytes)");
+  }
+  const unsigned char* p = file_.data();
+  if (std::memcmp(p, kTraceBinaryMagic, sizeof kTraceBinaryMagic) != 0) {
+    corrupt("bad magic (not a .cltrace file)");
+  }
+  version_ = load_u32_le(p + 8);
+  if (version_ != kTraceBinaryVersion) {
+    corrupt("unsupported format version " + std::to_string(version_) +
+            " (this build reads version " +
+            std::to_string(kTraceBinaryVersion) + ")");
+  }
+  const std::uint64_t n = load_u64_le(p + 16);
+  if (n > std::numeric_limits<std::uint32_t>::max()) {
+    corrupt("session count exceeds the 32-bit index space");
+  }
+  sessions_ = static_cast<std::size_t>(n);
+  span_ = Seconds{load_f64_le(p + 24)};
+  const std::uint32_t blocks = load_u32_le(p + 32);
+  if (blocks != kTraceBinaryBlockCount) {
+    corrupt("expected " + std::to_string(kTraceBinaryBlockCount) +
+            " blocks, directory lists " + std::to_string(blocks));
+  }
+  const std::size_t directory_end =
+      kTraceBinaryHeaderBytes +
+      static_cast<std::size_t>(blocks) * kTraceBinaryDirEntryBytes;
+  if (file_.size() < directory_end) {
+    corrupt("truncated block directory");
+  }
+
+  bool seen[kTraceBinaryBlockCount] = {};
+  std::uint64_t group_count = 0;
+  bool groups_set = false;
+  std::uint64_t expected_end = directory_end;
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    const unsigned char* entry =
+        p + kTraceBinaryHeaderBytes + b * kTraceBinaryDirEntryBytes;
+    const std::uint32_t id = load_u32_le(entry);
+    const std::uint32_t elem = load_u32_le(entry + 4);
+    const std::uint64_t offset = load_u64_le(entry + 8);
+    const std::uint64_t count = load_u64_le(entry + 16);
+    if (id >= kTraceBinaryBlockCount) {
+      corrupt("unknown block id " + std::to_string(id));
+    }
+    if (seen[id]) corrupt("duplicate block id " + std::to_string(id));
+    seen[id] = true;
+    if (elem != kTraceBinaryElemSize[id]) {
+      corrupt("block " + std::to_string(id) + " has element size " +
+              std::to_string(elem) + ", expected " +
+              std::to_string(kTraceBinaryElemSize[id]));
+    }
+    if (kTraceBinaryCountIsSessions[id]) {
+      if (count != n) {
+        corrupt("block " + std::to_string(id) + " holds " +
+                std::to_string(count) + " elements, expected the session "
+                "count " + std::to_string(n));
+      }
+    } else {
+      if (groups_set && count != group_count) {
+        corrupt("index group blocks disagree on the group count");
+      }
+      group_count = count;
+      groups_set = true;
+    }
+    const std::uint64_t bytes = count * elem;
+    if (offset < directory_end || offset + bytes < offset ||
+        offset + bytes > file_.size()) {
+      corrupt("block " + std::to_string(id) +
+              " extends past the end of the file (truncated column block?)");
+    }
+    offsets_[id] = offset;
+    if (offset + bytes > expected_end) expected_end = offset + bytes;
+  }
+  // `seen` has no false entries here: 13 entries with ids < 13 and no
+  // duplicates pigeonhole into exactly one of each.
+  groups_ = static_cast<std::size_t>(group_count);
+  if (groups_ > sessions_) {
+    corrupt("more swarm-index groups than sessions");
+  }
+  if (expected_end != file_.size()) {
+    corrupt("trailing bytes after the last column block");
+  }
+}
+
+const unsigned char* MappedTrace::block(std::size_t id) const {
+  return file_.data() + offsets_[id];
+}
+
+SessionRecord MappedTrace::session(std::size_t i) const {
+  CL_EXPECTS(i < sessions_);
+  SessionRecord s;
+  s.user = load_u32_le(block(0) + 4 * i);
+  s.household = load_u32_le(block(1) + 4 * i);
+  s.content = load_u32_le(block(2) + 4 * i);
+  s.isp = load_u32_le(block(3) + 4 * i);
+  s.exp = load_u32_le(block(4) + 4 * i);
+  s.bitrate = static_cast<BitrateClass>(block(5)[i]);
+  s.start = load_f64_le(block(6) + 8 * i);
+  s.duration = load_f64_le(block(7) + 8 * i);
+  return s;
+}
+
+Trace MappedTrace::to_trace(unsigned threads) const {
+  Trace trace;
+  trace.span = span_;
+  trace.sessions.resize(sessions_);
+  const unsigned char* user = block(0);
+  const unsigned char* household = block(1);
+  const unsigned char* content = block(2);
+  const unsigned char* isp = block(3);
+  const unsigned char* exp = block(4);
+  const unsigned char* bitrate = block(5);
+  const unsigned char* start = block(6);
+  const unsigned char* duration = block(7);
+  parallel_shards(sessions_, threads,
+                  [&](unsigned, std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) {
+                      SessionRecord& s = trace.sessions[i];
+                      s.user = load_u32_le(user + 4 * i);
+                      s.household = load_u32_le(household + 4 * i);
+                      s.content = load_u32_le(content + 4 * i);
+                      s.isp = load_u32_le(isp + 4 * i);
+                      s.exp = load_u32_le(exp + 4 * i);
+                      if (bitrate[i] >= kBitrateClasses) {
+                        throw ParseError(
+                            "corrupt .cltrace file: bitrate class out of "
+                            "range: " + std::to_string(bitrate[i]));
+                      }
+                      s.bitrate = static_cast<BitrateClass>(bitrate[i]);
+                      s.start = load_f64_le(start + 8 * i);
+                      s.duration = load_f64_le(duration + 8 * i);
+                    }
+                  });
+
+  trace.swarm_index.groups.resize(groups_);
+  const unsigned char* g_content = block(8);
+  const unsigned char* g_isp = block(9);
+  const unsigned char* g_bitrate = block(10);
+  const unsigned char* g_count = block(11);
+  std::uint64_t begin = 0;
+  for (std::size_t g = 0; g < groups_; ++g) {
+    SwarmIndexGroup& group = trace.swarm_index.groups[g];
+    group.content = load_u32_le(g_content + 4 * g);
+    group.isp = load_u32_le(g_isp + 4 * g);
+    group.bitrate = g_bitrate[g];
+    group.count = load_u64_le(g_count + 8 * g);
+    group.begin = begin;
+    if (group.count > sessions_ - begin) {
+      throw ParseError(
+          "corrupt .cltrace file: swarm index group counts overflow the "
+          "session count");
+    }
+    begin += group.count;
+  }
+  trace.swarm_index.order.resize(sessions_);
+  const unsigned char* order = block(12);
+  parallel_shards(sessions_, threads,
+                  [&](unsigned, std::size_t range_begin, std::size_t end) {
+                    for (std::size_t i = range_begin; i < end; ++i) {
+                      trace.swarm_index.order[i] = load_u32_le(order + 4 * i);
+                    }
+                  });
+  validate_swarm_index(trace.swarm_index, trace);
+
+  // The same invariants the CSV reader enforces (ordering, non-negative
+  // durations, sessions inside the span) — surfaced as ParseError since
+  // the data came from an untrusted file, not a caller bug.
+  try {
+    trace.validate();
+  } catch (const InvalidArgument& e) {
+    throw ParseError(std::string("corrupt .cltrace file: ") + e.what());
+  }
+  return trace;
+}
+
+Trace read_trace_binary_file(const std::string& path, unsigned threads) {
+  return MappedTrace(path).to_trace(threads);
+}
+
+}  // namespace cl

@@ -1,0 +1,73 @@
+// trace_mmap.h — mmap-backed reader of `.cltrace` binary traces.
+//
+// The counterpart of trace/trace_binary.h: maps the file read-only,
+// validates the header and block directory without touching the payload,
+// and materializes sessions straight from the little-endian column
+// blocks — no text parsing, no iostream buffering. Materialization
+// shards session ranges across worker threads (util/parallel.h), so a
+// month-scale trace loads in seconds and the result is identical at
+// every thread count (each session is decoded independently from its
+// column bytes).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "trace/session.h"
+#include "util/mmap_file.h"
+
+namespace cl {
+
+/// A validated, memory-mapped `.cltrace` file.
+///
+/// Construction validates everything structural: magic, version, block
+/// directory (all 13 block ids present exactly once, element widths,
+/// counts, bounds) and the exact file size. Field-level validation —
+/// bitrate range, swarm-index consistency, session ordering — happens in
+/// to_trace(), which is the only way payload bytes become a Trace.
+class MappedTrace {
+ public:
+  /// Maps and validates `path`; throws cl::IoError when the file cannot
+  /// be mapped and cl::ParseError when it is not a well-formed version-1
+  /// `.cltrace` file.
+  explicit MappedTrace(const std::string& path);
+
+  /// Number of sessions.
+  [[nodiscard]] std::size_t size() const { return sessions_; }
+  /// Number of swarm-index groups.
+  [[nodiscard]] std::size_t group_count() const { return groups_; }
+  /// Trace span.
+  [[nodiscard]] Seconds span() const { return span_; }
+  /// On-disk format version.
+  [[nodiscard]] std::uint32_t version() const { return version_; }
+  /// Total mapped bytes.
+  [[nodiscard]] std::size_t file_size() const { return file_.size(); }
+
+  /// Decodes one session from the column blocks (bitrate unvalidated —
+  /// use to_trace() for checked loading).
+  [[nodiscard]] SessionRecord session(std::size_t i) const;
+
+  /// Materializes the full trace — sessions, span and swarm index —
+  /// sharding session decoding across `threads` workers (0 = all
+  /// hardware threads). Validates bitrate values, the swarm index and
+  /// the trace invariants; throws cl::ParseError on corrupt payloads.
+  [[nodiscard]] Trace to_trace(unsigned threads = 1) const;
+
+ private:
+  [[nodiscard]] const unsigned char* block(std::size_t id) const;
+
+  MappedFile file_;
+  std::size_t sessions_ = 0;
+  std::size_t groups_ = 0;
+  Seconds span_;
+  std::uint32_t version_ = 0;
+  /// Payload offset of each block, indexed by block id.
+  std::uint64_t offsets_[13] = {};
+};
+
+/// Loads a `.cltrace` file into a Trace (mmap + sharded materialization).
+[[nodiscard]] Trace read_trace_binary_file(const std::string& path,
+                                           unsigned threads = 1);
+
+}  // namespace cl

@@ -43,9 +43,14 @@ void CsvWriter::field_raw(const std::string& text) {
 }
 
 std::vector<std::string> split_csv_line(std::string_view line) {
+  // A CRLF line ending is fine; any other carriage return is data
+  // corruption and rejected below rather than silently stripped.
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
   std::vector<std::string> out;
   std::string cur;
-  bool quoted = false;
+  bool quoted = false;          // inside a quoted field
+  bool closed = false;          // current field was quoted and has closed
+  bool at_field_start = true;   // nothing consumed for the current field yet
   for (std::size_t i = 0; i < line.size(); ++i) {
     const char ch = line[i];
     if (quoted) {
@@ -55,18 +60,38 @@ std::vector<std::string> split_csv_line(std::string_view line) {
           ++i;
         } else {
           quoted = false;
+          closed = true;
         }
       } else {
         cur += ch;
       }
-    } else if (ch == '"') {
-      quoted = true;
-    } else if (ch == ',') {
+      continue;
+    }
+    if (ch == ',') {
       out.push_back(std::move(cur));
       cur.clear();
-    } else if (ch != '\r') {
-      cur += ch;
+      closed = false;
+      at_field_start = true;
+      continue;
     }
+    // Once a quoted field has closed, only a separator may follow —
+    // `"100"5` must not silently parse as `1005`.
+    if (closed) {
+      throw ParseError("garbage after closing quote in CSV field");
+    }
+    if (ch == '"') {
+      if (!at_field_start) {
+        throw ParseError("stray quote inside unquoted CSV field");
+      }
+      quoted = true;
+      at_field_start = false;
+      continue;
+    }
+    if (ch == '\r') {
+      throw ParseError("stray carriage return inside CSV line");
+    }
+    cur += ch;
+    at_field_start = false;
   }
   if (quoted) throw ParseError("unterminated quoted CSV field");
   out.push_back(std::move(cur));

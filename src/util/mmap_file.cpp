@@ -1,0 +1,111 @@
+#include "util/mmap_file.h"
+
+#include <utility>
+
+#include "util/error.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CL_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define CL_HAVE_MMAP 0
+#include <cstdio>
+#endif
+
+namespace cl {
+
+#if CL_HAVE_MMAP
+
+MappedFile::MappedFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw IoError("cannot open trace file: " + path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw IoError("cannot stat trace file: " + path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return;  // empty file: empty mapping
+  }
+  void* p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (p == MAP_FAILED) throw IoError("cannot mmap trace file: " + path);
+#ifdef MADV_WILLNEED
+  // The loader scans every column block exactly once; prefetching the
+  // pages overlaps fault-in with the materialization loop.
+  ::madvise(p, size, MADV_WILLNEED);
+#endif
+  data_ = p;
+  size_ = size;
+  mapped_ = true;
+}
+
+void MappedFile::reset() noexcept {
+  if (data_ != nullptr && mapped_) ::munmap(data_, size_);
+  if (data_ != nullptr && !mapped_) delete[] static_cast<unsigned char*>(data_);
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+#else  // heap-buffer fallback for platforms without POSIX mmap
+
+MappedFile::MappedFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw IoError("cannot open trace file: " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long end = std::ftell(f);
+  if (end < 0) {
+    std::fclose(f);
+    throw IoError("cannot stat trace file: " + path);
+  }
+  std::fseek(f, 0, SEEK_SET);
+  const auto size = static_cast<std::size_t>(end);
+  if (size == 0) {
+    std::fclose(f);
+    return;
+  }
+  auto* buffer = new unsigned char[size];
+  const std::size_t got = std::fread(buffer, 1, size, f);
+  std::fclose(f);
+  if (got != size) {
+    delete[] buffer;
+    throw IoError("short read of trace file: " + path);
+  }
+  data_ = buffer;
+  size_ = size;
+  mapped_ = false;
+}
+
+void MappedFile::reset() noexcept {
+  if (data_ != nullptr) delete[] static_cast<unsigned char*>(data_);
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+#endif
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      mapped_(std::exchange(other.mapped_, false)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() { reset(); }
+
+}  // namespace cl

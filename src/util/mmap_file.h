@@ -1,0 +1,48 @@
+// mmap_file.h — RAII read-only memory mapping of a file.
+//
+// The binary trace loader (trace/trace_mmap.h) reads column blocks
+// straight out of the page cache instead of pulling them through
+// iostream buffers — mmap is what makes a month-scale trace loadable in
+// seconds. On platforms without POSIX mmap the class degrades to reading
+// the whole file into a heap buffer, so every consumer keeps working
+// (only the zero-copy property is lost).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace cl {
+
+/// Read-only mapping of one file. Move-only; unmaps on destruction.
+class MappedFile {
+ public:
+  /// An empty, unmapped instance (data() == nullptr, size() == 0).
+  MappedFile() = default;
+
+  /// Maps `path` read-only; throws cl::IoError when the file cannot be
+  /// opened, stat-ed or mapped. A zero-length file maps to an empty
+  /// instance.
+  explicit MappedFile(const std::string& path);
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  /// First byte of the mapping (nullptr when empty()).
+  [[nodiscard]] const unsigned char* data() const {
+    return static_cast<const unsigned char*>(data_);
+  }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+ private:
+  void reset() noexcept;
+
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;  ///< true: munmap on destroy; false: heap fallback
+};
+
+}  // namespace cl

@@ -1,0 +1,78 @@
+// serialize.h — endian-safe fixed-width serialization primitives.
+//
+// The binary trace format (trace/trace_binary.h) is defined as
+// little-endian on disk so files move between machines. These helpers
+// spell every load/store as explicit byte arithmetic: on little-endian
+// hosts compilers collapse them to single moves, and on big-endian hosts
+// they perform the swap — no #ifdef forks, no reinterpret_cast aliasing.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace cl {
+
+inline void store_u16_le(unsigned char* p, std::uint16_t v) {
+  p[0] = static_cast<unsigned char>(v);
+  p[1] = static_cast<unsigned char>(v >> 8);
+}
+
+inline void store_u32_le(unsigned char* p, std::uint32_t v) {
+  p[0] = static_cast<unsigned char>(v);
+  p[1] = static_cast<unsigned char>(v >> 8);
+  p[2] = static_cast<unsigned char>(v >> 16);
+  p[3] = static_cast<unsigned char>(v >> 24);
+}
+
+inline void store_u64_le(unsigned char* p, std::uint64_t v) {
+  store_u32_le(p, static_cast<std::uint32_t>(v));
+  store_u32_le(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+/// Doubles travel as the little-endian bytes of their IEEE-754 bit
+/// pattern — loads reproduce the exact value, including -0.0 and NaNs.
+inline void store_f64_le(unsigned char* p, double v) {
+  store_u64_le(p, std::bit_cast<std::uint64_t>(v));
+}
+
+[[nodiscard]] inline std::uint16_t load_u16_le(const unsigned char* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+[[nodiscard]] inline std::uint32_t load_u32_le(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+[[nodiscard]] inline std::uint64_t load_u64_le(const unsigned char* p) {
+  return static_cast<std::uint64_t>(load_u32_le(p)) |
+         (static_cast<std::uint64_t>(load_u32_le(p + 4)) << 32);
+}
+
+[[nodiscard]] inline double load_f64_le(const unsigned char* p) {
+  return std::bit_cast<double>(load_u64_le(p));
+}
+
+/// Append variants for building serialized blocks in a std::string buffer
+/// (the binary trace writer's unit of output).
+inline void append_u32_le(std::string& out, std::uint32_t v) {
+  unsigned char buf[4];
+  store_u32_le(buf, v);
+  out.append(reinterpret_cast<const char*>(buf), sizeof buf);
+}
+
+inline void append_u64_le(std::string& out, std::uint64_t v) {
+  unsigned char buf[8];
+  store_u64_le(buf, v);
+  out.append(reinterpret_cast<const char*>(buf), sizeof buf);
+}
+
+inline void append_f64_le(std::string& out, double v) {
+  append_u64_le(out, std::bit_cast<std::uint64_t>(v));
+}
+
+}  // namespace cl

@@ -11,6 +11,8 @@
 #include <array>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #ifndef CL_CLI_PATH
@@ -107,6 +109,74 @@ TEST(CliSmoke, SimulateThreadsProduceIdenticalReports) {
 
 TEST(CliSmoke, RejectsUnknownFlagValueType) {
   const RunResult result = run_cli("model --capacity notanumber");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("argument error"), std::string::npos);
+}
+
+TEST(CliSmoke, ConvertRoundTripsByteIdentical) {
+  const std::string csv = temp_trace_path() + ".convert.csv";
+  const std::string bin = temp_trace_path() + ".convert.cltrace";
+  const std::string csv2 = temp_trace_path() + ".convert2.csv";
+
+  const RunResult gen = run_cli("generate --out " + csv +
+                                " --preset small --days 1 --seed 5 --quiet");
+  ASSERT_EQ(gen.exit_code, 0) << gen.output;
+  const RunResult to_bin = run_cli("convert --in " + csv + " --out " + bin);
+  ASSERT_EQ(to_bin.exit_code, 0) << to_bin.output;
+  EXPECT_NE(to_bin.output.find("converted"), std::string::npos);
+  const RunResult to_csv = run_cli("convert --in " + bin + " --out " + csv2);
+  ASSERT_EQ(to_csv.exit_code, 0) << to_csv.output;
+
+  // CSV -> .cltrace -> CSV must reproduce the original file byte for byte.
+  std::ifstream a(csv, std::ios::binary), b(csv2, std::ios::binary);
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+
+  std::filesystem::remove(csv);
+  std::filesystem::remove(bin);
+  std::filesystem::remove(csv2);
+}
+
+TEST(CliSmoke, SimulateBinaryTraceMatchesCsvReport) {
+  const std::string csv = temp_trace_path() + ".fmt.csv";
+  const std::string bin = temp_trace_path() + ".fmt.cltrace";
+  const RunResult gen = run_cli("generate --out " + csv +
+                                " --preset small --days 1 --seed 9 --quiet");
+  ASSERT_EQ(gen.exit_code, 0) << gen.output;
+  const RunResult conv =
+      run_cli("convert --in " + csv + " --out " + bin + " --quiet");
+  ASSERT_EQ(conv.exit_code, 0) << conv.output;
+
+  const RunResult from_csv = run_cli("simulate --trace " + csv);
+  const RunResult from_bin = run_cli("simulate --trace " + bin + " --threads 2");
+  ASSERT_EQ(from_csv.exit_code, 0) << from_csv.output;
+  ASSERT_EQ(from_bin.exit_code, 0) << from_bin.output;
+  // Same trace through either on-disk format: byte-identical report.
+  EXPECT_EQ(from_csv.output, from_bin.output);
+
+  std::filesystem::remove(csv);
+  std::filesystem::remove(bin);
+}
+
+TEST(CliSmoke, GenerateWritesBinaryFormatDirectly) {
+  const std::string bin = temp_trace_path() + ".gen.cltrace";
+  const RunResult gen = run_cli("generate --out " + bin +
+                                " --preset small --days 1 --seed 5 --quiet");
+  ASSERT_EQ(gen.exit_code, 0) << gen.output;
+  // Extension-driven --format auto: the output is a binary trace.
+  std::ifstream in(bin, std::ios::binary);
+  char magic[8] = {};
+  in.read(magic, sizeof magic);
+  EXPECT_EQ(std::string(magic, 7), "CLTRACE");
+  const RunResult sim = run_cli("simulate --trace " + bin);
+  EXPECT_EQ(sim.exit_code, 0) << sim.output;
+  std::filesystem::remove(bin);
+}
+
+TEST(CliSmoke, ConvertRejectsMissingFlags) {
+  const RunResult result = run_cli("convert --in /tmp/nope.csv");
   EXPECT_EQ(result.exit_code, 2);
   EXPECT_NE(result.output.find("argument error"), std::string::npos);
 }

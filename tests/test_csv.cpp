@@ -62,6 +62,28 @@ TEST(SplitCsvLine, UnterminatedQuoteThrows) {
   EXPECT_THROW(split_csv_line("\"abc"), ParseError);
 }
 
+TEST(SplitCsvLine, GarbageAfterClosingQuoteThrows) {
+  EXPECT_THROW(split_csv_line("\"abc\"garbage,x"), ParseError);
+  EXPECT_THROW(split_csv_line("x,\"10\"5"), ParseError);
+}
+
+TEST(SplitCsvLine, StrayQuoteInsideUnquotedFieldThrows) {
+  EXPECT_THROW(split_csv_line("ab\"cd\",x"), ParseError);
+}
+
+TEST(SplitCsvLine, InteriorCarriageReturnThrows) {
+  EXPECT_THROW(split_csv_line("a\rb,c"), ParseError);
+  // ...but the CR of a CRLF line ending is still fine (see
+  // StripsCarriageReturn above).
+}
+
+TEST(SplitCsvLine, QuotedFieldThenSeparatorStillWorks) {
+  const auto fields = split_csv_line("\"a\",b,\"c\"");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
 TEST(ReadCsv, Document) {
   std::istringstream in("x,y\n1,2\n3,4\n");
   const CsvDocument doc = read_csv(in);

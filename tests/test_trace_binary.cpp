@@ -1,0 +1,712 @@
+// Tests for the binary columnar trace format (trace/trace_binary.h), the
+// mmap loader (trace/trace_mmap.h) and the swarm index
+// (trace/swarm_index.h):
+//
+//  * round-trip property tests — CSV -> binary -> mmap-load reproduces
+//    sessions bit-identically (exact float compares), including empty /
+//    single-session / maximal-field-value traces and randomized traces
+//    across several RNG seeds;
+//  * a golden file committed under tests/data/ pinning the exact byte
+//    layout (any accidental format change fails with a "bump the
+//    version" message);
+//  * corrupt-input rejection — bad magic, wrong version, truncated
+//    column blocks, trailing bytes, out-of-range payloads;
+//  * cross-thread determinism — the mmap load itself and the analyzer /
+//    simulator results on an mmap-loaded trace are bit-identical at
+//    --threads 1/2/7/hw and identical to the CSV-loaded path.
+#include "trace/trace_binary.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "core/analyzer.h"
+#include "sim/swarm_key.h"
+#include "trace/swarm_index.h"
+#include "trace/trace_format.h"
+#include "trace/trace_io.h"
+#include "trace/trace_mmap.h"
+#include "trace/synthetic.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+#ifndef CL_TEST_DATA_DIR
+#error "CMake must define CL_TEST_DATA_DIR (path of tests/data)"
+#endif
+
+namespace cl {
+namespace {
+
+// ---------------------------------------------------------------- helpers
+
+const Metro& metro() {
+  static const Metro m = Metro::london_top5();
+  return m;
+}
+
+/// Exact, field-by-field session equality (bit-exact doubles).
+void expect_sessions_identical(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.span.value(), b.span.value());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const SessionRecord& x = a.sessions[i];
+    const SessionRecord& y = b.sessions[i];
+    ASSERT_EQ(x.user, y.user) << "i=" << i;
+    ASSERT_EQ(x.household, y.household) << "i=" << i;
+    ASSERT_EQ(x.content, y.content) << "i=" << i;
+    ASSERT_EQ(x.isp, y.isp) << "i=" << i;
+    ASSERT_EQ(x.exp, y.exp) << "i=" << i;
+    ASSERT_EQ(x.bitrate, y.bitrate) << "i=" << i;
+    // Exact equality on purpose: the binary format stores IEEE-754 bit
+    // patterns and must reproduce them losslessly.
+    ASSERT_EQ(x.start, y.start) << "i=" << i;
+    ASSERT_EQ(x.duration, y.duration) << "i=" << i;
+  }
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// Writes raw bytes to a temp file and returns its path.
+std::string write_bytes(const std::string& name, const std::string& bytes) {
+  const std::string path = temp_path(name);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  return path;
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Binary round trip through an actual file + the mmap loader.
+Trace binary_round_trip(const Trace& trace, unsigned threads = 1) {
+  const std::string path = temp_path("cl_trace_binary_rt.cltrace");
+  write_trace_binary_file(path, trace);
+  Trace loaded = read_trace_binary_file(path, threads);
+  std::filesystem::remove(path);
+  return loaded;
+}
+
+Trace tiny_trace() {
+  Trace t;
+  t.span = Seconds::from_days(1);
+  SessionRecord a;
+  a.user = 1;
+  a.household = 10;
+  a.content = 5;
+  a.isp = 2;
+  a.exp = 77;
+  a.bitrate = BitrateClass::kHd;
+  a.start = 100.5;
+  a.duration = 1800.25;
+  SessionRecord b = a;
+  b.user = 2;
+  b.start = 200.0;
+  b.bitrate = BitrateClass::kMobile;
+  SessionRecord c = a;
+  c.user = 3;
+  c.content = 9;
+  c.isp = 0;
+  c.start = 300.125;
+  c.duration = 0.1;  // not exactly representable: exercises bit-exactness
+  t.sessions = {a, b, c};
+  return t;
+}
+
+/// The committed golden fixture's content — regenerate tests/data/
+/// golden_v1.cltrace from exactly this trace (see the failure message in
+/// GoldenFileBytesMatchWriter).
+Trace golden_trace() {
+  Trace t;
+  t.span = Seconds{86400.0};
+  auto session = [](std::uint32_t user, std::uint32_t household,
+                    std::uint32_t content, std::uint32_t isp,
+                    std::uint32_t exp, BitrateClass bitrate, double start,
+                    double duration) {
+    SessionRecord s;
+    s.user = user;
+    s.household = household;
+    s.content = content;
+    s.isp = isp;
+    s.exp = exp;
+    s.bitrate = bitrate;
+    s.start = start;
+    s.duration = duration;
+    return s;
+  };
+  t.sessions = {
+      session(1, 1, 0, 0, 0, BitrateClass::kMobile, 0.0, 60.0),
+      session(2, 1, 0, 0, 1, BitrateClass::kSd, 10.5, 600.25),
+      session(3, 2, 1, 1, 0, BitrateClass::kHd, 100.1, 1800.0),
+      session(4, 2, 1, 1, 0, BitrateClass::kFullHd, 250.0, 0.0),
+      session(5, 3, 2, 4, 30, BitrateClass::kSd, 86000.0, 400.0),
+  };
+  return t;
+}
+
+std::string golden_path() {
+  return std::string(CL_TEST_DATA_DIR) + "/golden_v1.cltrace";
+}
+
+/// FNV-1a 64-bit digest — enough to pin accidental byte changes.
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// ------------------------------------------------------------ round trips
+
+TEST(TraceBinaryRoundTrip, TinyTraceBitIdentical) {
+  const Trace original = tiny_trace();
+  expect_sessions_identical(binary_round_trip(original), original);
+}
+
+TEST(TraceBinaryRoundTrip, EmptyTrace) {
+  Trace empty;
+  empty.span = Seconds{3600.0};
+  const Trace loaded = binary_round_trip(empty);
+  EXPECT_TRUE(loaded.empty());
+  EXPECT_EQ(loaded.span.value(), 3600.0);
+  EXPECT_TRUE(loaded.swarm_index.groups.empty());
+}
+
+TEST(TraceBinaryRoundTrip, SingleSession) {
+  Trace t;
+  t.span = Seconds{1000.0};
+  SessionRecord s;
+  s.user = 42;
+  s.bitrate = BitrateClass::kFullHd;
+  s.start = 999.0;
+  s.duration = 1.0;
+  t.sessions = {s};
+  const Trace loaded = binary_round_trip(t);
+  expect_sessions_identical(loaded, t);
+  ASSERT_EQ(loaded.swarm_index.groups.size(), 1u);
+  EXPECT_EQ(loaded.swarm_index.order.size(), 1u);
+}
+
+TEST(TraceBinaryRoundTrip, MaximalFieldValues) {
+  constexpr auto u32_max = std::numeric_limits<std::uint32_t>::max();
+  Trace t;
+  t.span = Seconds{2.1e300};
+  SessionRecord s;
+  s.user = u32_max;
+  s.household = u32_max;
+  s.content = u32_max;
+  s.isp = u32_max;
+  s.exp = u32_max;
+  s.bitrate = BitrateClass::kFullHd;
+  s.start = 1e300;
+  s.duration = 1e300;
+  SessionRecord tiny = s;
+  tiny.start = 1e300;
+  tiny.duration = 5e-324;  // smallest subnormal double
+  t.sessions = {s, tiny};
+  expect_sessions_identical(binary_round_trip(t), t);
+}
+
+TEST(TraceBinaryRoundTrip, CsvToBinaryToMmapBitIdentical) {
+  // The satellite contract verbatim: parse CSV, persist binary, mmap-load
+  // — the loaded sessions must match the CSV-parsed ones bit for bit.
+  const Trace original = tiny_trace();
+  std::ostringstream csv;
+  write_trace(csv, original);
+  std::istringstream csv_in(csv.str());
+  const Trace from_csv = read_trace(csv_in);
+  expect_sessions_identical(binary_round_trip(from_csv), from_csv);
+}
+
+TEST(TraceBinaryRoundTrip, RandomizedAcrossSeeds) {
+  // Fuzz-ish: randomized session fields (including occasional extreme
+  // values) across several seeds, exact round-trip each time.
+  for (const std::uint64_t seed : {1u, 7u, 42u, 1234u, 99999u, 777777u}) {
+    Rng rng(seed);
+    Trace t;
+    t.span = Seconds{1e9};
+    const std::size_t n = 50 + rng.uniform_index(200);
+    double start = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      SessionRecord s;
+      const bool extreme = rng.bernoulli(0.05);
+      s.user = extreme ? std::numeric_limits<std::uint32_t>::max()
+                       : static_cast<std::uint32_t>(rng.uniform_index(10000));
+      s.household = static_cast<std::uint32_t>(rng.uniform_index(5000));
+      s.content = static_cast<std::uint32_t>(rng.uniform_index(50));
+      s.isp = static_cast<std::uint32_t>(rng.uniform_index(5));
+      s.exp = static_cast<std::uint32_t>(rng.uniform_index(100));
+      s.bitrate =
+          static_cast<BitrateClass>(rng.uniform_index(kBitrateClasses));
+      start += rng.exponential(1.0 / 100.0);
+      s.start = start;
+      s.duration = extreme ? 0.0 : rng.uniform(0.0, 1e5);
+      t.sessions.push_back(s);
+    }
+    const Trace loaded = binary_round_trip(t);
+    expect_sessions_identical(loaded, t);
+    validate_swarm_index(loaded.swarm_index, loaded);
+  }
+}
+
+TEST(TraceBinaryRoundTrip, SyntheticGeneratorTrace) {
+  TraceConfig config;
+  config.days = 2;
+  config.users = 500;
+  config.exemplar_views = {3000};
+  config.catalogue_tail = 50;
+  config.tail_views = 2000;
+  const Trace original = TraceGenerator(config, metro()).generate();
+  ASSERT_GT(original.size(), 100u);
+  expect_sessions_identical(binary_round_trip(original), original);
+}
+
+TEST(TraceBinaryRoundTrip, CsvBinaryCsvByteIdentical) {
+  // CSV -> Trace -> binary -> Trace -> CSV reproduces the first CSV byte
+  // for byte (the `cl convert` there-and-back guarantee).
+  const Trace original = tiny_trace();
+  std::ostringstream csv1;
+  write_trace(csv1, original);
+  std::istringstream in1(csv1.str());
+  const Trace through_binary = binary_round_trip(read_trace(in1));
+  std::ostringstream csv2;
+  write_trace(csv2, through_binary);
+  EXPECT_EQ(csv1.str(), csv2.str());
+}
+
+TEST(TraceBinaryWriter, SerializationIsDeterministic) {
+  const Trace t = tiny_trace();
+  EXPECT_EQ(serialize_trace_binary(t), serialize_trace_binary(t));
+}
+
+TEST(TraceBinaryWriter, HeaderLayoutPinned) {
+  const std::string bytes = serialize_trace_binary(tiny_trace());
+  ASSERT_GE(bytes.size(), 40u);
+  const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  EXPECT_EQ(std::memcmp(p, kTraceBinaryMagic, 8), 0);
+  EXPECT_EQ(load_u32_le(p + 8), kTraceBinaryVersion);  // version
+  EXPECT_EQ(load_u32_le(p + 12), 0u);                  // flags
+  EXPECT_EQ(load_u64_le(p + 16), 3u);                  // session count
+  EXPECT_EQ(load_f64_le(p + 24), 86400.0);             // span
+  EXPECT_EQ(load_u32_le(p + 32), kTraceBinaryBlockCount);
+}
+
+// ------------------------------------------------------------ mapped view
+
+TEST(MappedTrace, ReportsHeaderFields) {
+  const Trace t = tiny_trace();
+  const std::string path = temp_path("cl_mapped_header.cltrace");
+  write_trace_binary_file(path, t);
+  const MappedTrace mapped(path);
+  EXPECT_EQ(mapped.size(), 3u);
+  EXPECT_EQ(mapped.version(), kTraceBinaryVersion);
+  EXPECT_EQ(mapped.span().value(), t.span.value());
+  EXPECT_EQ(mapped.group_count(), 3u);  // 3 distinct (content, isp, bitrate)
+  EXPECT_EQ(mapped.file_size(), std::filesystem::file_size(path));
+  std::filesystem::remove(path);
+}
+
+TEST(MappedTrace, RandomAccessSessionDecoding) {
+  const Trace t = tiny_trace();
+  const std::string path = temp_path("cl_mapped_session.cltrace");
+  write_trace_binary_file(path, t);
+  const MappedTrace mapped(path);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const SessionRecord s = mapped.session(i);
+    EXPECT_EQ(s.user, t.sessions[i].user);
+    EXPECT_EQ(s.start, t.sessions[i].start);
+    EXPECT_EQ(s.bitrate, t.sessions[i].bitrate);
+  }
+  std::filesystem::remove(path);
+}
+
+// ------------------------------------------------------------- swarm index
+
+TEST(SwarmIndexTest, PackedKeyMatchesSimulatorSwarmKey) {
+  // The trace layer duplicates SwarmKey::packed()'s layout to avoid a
+  // trace -> sim dependency; this pin keeps the two from drifting.
+  SwarmKey key;
+  key.content = 1234;
+  key.isp = 3;
+  key.bitrate = 2;
+  EXPECT_EQ(packed_swarm_key(1234, 3, 2), key.packed());
+  SwarmKey sentinel;  // kAnyIsp / kAnyBitrate defaults
+  sentinel.content = 9;
+  EXPECT_EQ(packed_swarm_key(9, SwarmKey::kAnyIsp, SwarmKey::kAnyBitrate),
+            sentinel.packed());
+}
+
+TEST(SwarmIndexTest, GroupsAscendCoverAndMatchSessions) {
+  TraceConfig config;
+  config.days = 2;
+  config.users = 400;
+  config.exemplar_views = {2000};
+  config.catalogue_tail = 30;
+  config.tail_views = 1500;
+  const Trace trace = TraceGenerator(config, metro()).generate();
+  const SwarmIndex index = build_swarm_index(trace);
+  EXPECT_EQ(index.order.size(), trace.size());
+  ASSERT_GT(index.groups.size(), 4u);
+  validate_swarm_index(index, trace);  // throws on any violation
+  for (std::size_t g = 1; g < index.groups.size(); ++g) {
+    EXPECT_TRUE(SwarmIndex::key_less(index.groups[g - 1], index.groups[g]));
+  }
+}
+
+TEST(SwarmIndexTest, ValidateRejectsTampering) {
+  const Trace trace = tiny_trace();
+  SwarmIndex index = build_swarm_index(trace);
+  {
+    SwarmIndex broken = index;
+    broken.order.pop_back();
+    EXPECT_THROW(validate_swarm_index(broken, trace), ParseError);
+  }
+  {
+    SwarmIndex broken = index;
+    broken.groups[0].content += 1;  // key no longer matches its sessions
+    EXPECT_THROW(validate_swarm_index(broken, trace), ParseError);
+  }
+  {
+    SwarmIndex broken = index;
+    std::swap(broken.groups[0], broken.groups[1]);  // keys out of order
+    EXPECT_THROW(validate_swarm_index(broken, trace), ParseError);
+  }
+  {
+    SwarmIndex broken = index;
+    broken.groups[0].count = 0;  // empty group
+    EXPECT_THROW(validate_swarm_index(broken, trace), ParseError);
+  }
+}
+
+// ------------------------------------------------------------- golden file
+
+TEST(TraceBinaryGolden, FileBytesMatchWriter) {
+  const std::string committed = read_bytes(golden_path());
+  ASSERT_FALSE(committed.empty()) << "missing fixture " << golden_path();
+  EXPECT_EQ(serialize_trace_binary(golden_trace()), committed)
+      << "the .cltrace byte layout changed. If this is intentional, bump "
+         "kTraceBinaryVersion in trace/trace_binary.h, regenerate "
+         "tests/data/golden_v1.cltrace from golden_trace(), and update "
+         "the pinned digest in TraceBinaryGolden.DigestPinned.";
+}
+
+TEST(TraceBinaryGolden, DigestPinned) {
+  const std::string committed = read_bytes(golden_path());
+  ASSERT_FALSE(committed.empty()) << "missing fixture " << golden_path();
+  EXPECT_EQ(fnv1a(committed), 0x52915e1e58ee37d1ULL)
+      << "tests/data/golden_v1.cltrace changed on disk. An intentional "
+         "format change must bump kTraceBinaryVersion (see "
+         "trace/trace_binary.h's version policy).";
+}
+
+TEST(TraceBinaryGolden, FixtureLoads) {
+  const Trace loaded = read_trace_binary_file(golden_path());
+  expect_sessions_identical(loaded, golden_trace());
+  ASSERT_EQ(loaded.swarm_index.groups.size(), 5u);
+}
+
+// ------------------------------------------------------- corrupt rejection
+
+TEST(TraceBinaryCorrupt, RejectsMissingFile) {
+  EXPECT_THROW(read_trace_binary_file("/nonexistent/path/trace.cltrace"),
+               IoError);
+}
+
+TEST(TraceBinaryCorrupt, RejectsTruncatedHeader) {
+  const std::string path =
+      write_bytes("cl_corrupt_short.cltrace",
+                  serialize_trace_binary(tiny_trace()).substr(0, 20));
+  EXPECT_THROW(read_trace_binary_file(path), ParseError);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceBinaryCorrupt, RejectsBadMagic) {
+  std::string bytes = serialize_trace_binary(tiny_trace());
+  bytes[0] = 'X';
+  const std::string path = write_bytes("cl_corrupt_magic.cltrace", bytes);
+  EXPECT_THROW(
+      try { (void)read_trace_binary_file(path); } catch (const ParseError& e) {
+        EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+        throw;
+      },
+      ParseError);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceBinaryCorrupt, RejectsWrongVersion) {
+  std::string bytes = serialize_trace_binary(tiny_trace());
+  store_u32_le(reinterpret_cast<unsigned char*>(bytes.data()) + 8,
+               kTraceBinaryVersion + 1);
+  const std::string path = write_bytes("cl_corrupt_version.cltrace", bytes);
+  EXPECT_THROW(
+      try { (void)read_trace_binary_file(path); } catch (const ParseError& e) {
+        EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+        throw;
+      },
+      ParseError);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceBinaryCorrupt, RejectsTruncatedColumnBlock) {
+  const std::string bytes = serialize_trace_binary(tiny_trace());
+  const std::string path = write_bytes("cl_corrupt_truncated.cltrace",
+                                       bytes.substr(0, bytes.size() - 6));
+  EXPECT_THROW(read_trace_binary_file(path), ParseError);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceBinaryCorrupt, RejectsTrailingBytes) {
+  const std::string path = write_bytes(
+      "cl_corrupt_trailing.cltrace",
+      serialize_trace_binary(tiny_trace()) + std::string(16, '\0'));
+  EXPECT_THROW(read_trace_binary_file(path), ParseError);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceBinaryCorrupt, RejectsWrongBlockCount) {
+  std::string bytes = serialize_trace_binary(tiny_trace());
+  store_u32_le(reinterpret_cast<unsigned char*>(bytes.data()) + 32,
+               kTraceBinaryBlockCount - 1);
+  const std::string path = write_bytes("cl_corrupt_blocks.cltrace", bytes);
+  EXPECT_THROW(read_trace_binary_file(path), ParseError);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceBinaryCorrupt, RejectsBitrateOutOfRange) {
+  std::string bytes = serialize_trace_binary(tiny_trace());
+  auto* p = reinterpret_cast<unsigned char*>(bytes.data());
+  // Directory entries are written in block-id order: entry 5 (bitrate
+  // column) sits at 40 + 5*24; its payload offset is 8 bytes in.
+  const std::uint64_t offset = load_u64_le(p + 40 + 5 * 24 + 8);
+  p[offset] = 9;  // not a BitrateClass
+  const std::string path = write_bytes("cl_corrupt_bitrate.cltrace", bytes);
+  EXPECT_THROW(read_trace_binary_file(path), ParseError);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceBinaryCorrupt, RejectsTamperedIndexOrder) {
+  std::string bytes = serialize_trace_binary(tiny_trace());
+  auto* p = reinterpret_cast<unsigned char*>(bytes.data());
+  const std::uint64_t offset = load_u64_le(p + 40 + 12 * 24 + 8);
+  const std::uint32_t first = load_u32_le(p + offset);
+  const std::uint32_t second = load_u32_le(p + offset + 4);
+  store_u32_le(p + offset, second);  // swap the first two entries
+  store_u32_le(p + offset + 4, first);
+  const std::string path = write_bytes("cl_corrupt_index.cltrace", bytes);
+  EXPECT_THROW(read_trace_binary_file(path), ParseError);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceBinaryCorrupt, RejectsSpanSmallerThanSessions) {
+  std::string bytes = serialize_trace_binary(tiny_trace());
+  store_f64_le(reinterpret_cast<unsigned char*>(bytes.data()) + 24, 1.0);
+  const std::string path = write_bytes("cl_corrupt_span.cltrace", bytes);
+  EXPECT_THROW(read_trace_binary_file(path), ParseError);
+  std::filesystem::remove(path);
+}
+
+// ------------------------------------------------------------- determinism
+
+TEST(TraceBinaryDeterminism, MmapLoadBitIdenticalAcrossThreadCounts) {
+  TraceConfig config;
+  config.days = 2;
+  config.users = 600;
+  config.exemplar_views = {4000};
+  config.catalogue_tail = 60;
+  config.tail_views = 3000;
+  const Trace original = TraceGenerator(config, metro()).generate();
+  const std::string path = temp_path("cl_det_load.cltrace");
+  write_trace_binary_file(path, original);
+  const Trace reference = read_trace_binary_file(path, 1);
+  expect_sessions_identical(reference, original);
+  for (const unsigned threads : {2u, 7u, 0u}) {  // 0 = all hardware threads
+    const Trace loaded = read_trace_binary_file(path, threads);
+    expect_sessions_identical(loaded, reference);
+    ASSERT_EQ(loaded.swarm_index.order, reference.swarm_index.order);
+    ASSERT_EQ(loaded.swarm_index.groups.size(),
+              reference.swarm_index.groups.size());
+  }
+  std::filesystem::remove(path);
+}
+
+/// Exact-equality comparison of the aggregate outcomes two Analyzer runs
+/// produce — savings/offload doubles must match to the last bit.
+void expect_aggregates_identical(const std::vector<AggregateOutcome>& a,
+                                 const std::vector<AggregateOutcome>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t m = 0; m < a.size(); ++m) {
+    EXPECT_EQ(a[m].sim_savings, b[m].sim_savings);
+    EXPECT_EQ(a[m].theory_savings, b[m].theory_savings);
+    EXPECT_EQ(a[m].offload, b[m].offload);
+    EXPECT_EQ(a[m].baseline_energy.value(), b[m].baseline_energy.value());
+    EXPECT_EQ(a[m].hybrid_energy.value(), b[m].hybrid_energy.value());
+  }
+}
+
+/// Shared workload for the sim/analyzer determinism tests below.
+const Trace& determinism_trace_csv() {
+  static const Trace trace = [] {
+    TraceConfig config;
+    config.days = 3;
+    config.users = 1500;
+    config.exemplar_views = {8000, 900};
+    config.catalogue_tail = 150;
+    config.tail_views = 10000;
+    const Trace generated = TraceGenerator(config, metro()).generate();
+    // Round-trip through CSV so the reference is exactly what the CSV
+    // loader produces.
+    std::ostringstream out;
+    write_trace(out, generated);
+    std::istringstream in(out.str());
+    return read_trace(in);
+  }();
+  return trace;
+}
+
+const Trace& determinism_trace_binary() {
+  static const Trace trace = [] {
+    const std::string path = temp_path("cl_det_sim.cltrace");
+    write_trace_binary_file(path, determinism_trace_csv());
+    Trace loaded = read_trace_binary_file(path, 2);
+    std::filesystem::remove(path);
+    return loaded;
+  }();
+  return trace;
+}
+
+TEST(TraceBinaryDeterminism, SimResultBitIdenticalMmapVsCsvAcrossThreads) {
+  const Trace& csv = determinism_trace_csv();
+  const Trace& binary = determinism_trace_binary();
+  EXPECT_TRUE(csv.swarm_index.empty());     // hash-grouping path
+  EXPECT_FALSE(binary.swarm_index.empty()); // persisted-index path
+
+  SimConfig reference_config;
+  reference_config.threads = 1;
+  const SimResult reference =
+      HybridSimulator(metro(), reference_config).run(csv);
+
+  for (const unsigned threads : {1u, 2u, 7u, 0u}) {
+    SimConfig config;
+    config.threads = threads;
+    const SimResult result = HybridSimulator(metro(), config).run(binary);
+    EXPECT_EQ(result.total.server.value(), reference.total.server.value());
+    EXPECT_EQ(result.total.cross_isp.value(),
+              reference.total.cross_isp.value());
+    for (std::size_t l = 0; l < kLocalityLevels; ++l) {
+      EXPECT_EQ(result.total.peer[l].value(),
+                reference.total.peer[l].value());
+    }
+    ASSERT_EQ(result.swarms.size(), reference.swarms.size());
+    for (std::size_t s = 0; s < result.swarms.size(); ++s) {
+      EXPECT_EQ(result.swarms[s].key.packed(),
+                reference.swarms[s].key.packed());
+      EXPECT_EQ(result.swarms[s].capacity, reference.swarms[s].capacity);
+      EXPECT_EQ(result.swarms[s].traffic.server.value(),
+                reference.swarms[s].traffic.server.value());
+    }
+    ASSERT_EQ(result.daily.size(), reference.daily.size());
+    for (std::size_t d = 0; d < result.daily.size(); ++d) {
+      ASSERT_EQ(result.daily[d].size(), reference.daily[d].size());
+      for (std::size_t i = 0; i < result.daily[d].size(); ++i) {
+        EXPECT_EQ(result.daily[d][i].server.value(),
+                  reference.daily[d][i].server.value());
+      }
+    }
+    ASSERT_EQ(result.users.size(), reference.users.size());
+    for (const auto& [user, traffic] : reference.users) {
+      const auto it = result.users.find(user);
+      ASSERT_NE(it, result.users.end());
+      EXPECT_EQ(it->second.downloaded.value(), traffic.downloaded.value());
+      EXPECT_EQ(it->second.uploaded.value(), traffic.uploaded.value());
+    }
+  }
+}
+
+TEST(TraceBinaryDeterminism, IndexPathBitIdenticalToHashGroupingPath) {
+  // Same sessions with and without the persisted index: the simulator
+  // must produce bit-identical results through either grouping path.
+  const Trace& binary = determinism_trace_binary();
+  Trace stripped = binary;
+  stripped.swarm_index = SwarmIndex{};
+  SimConfig config;
+  config.threads = 2;
+  const HybridSimulator sim(metro(), config);
+  const SimResult with_index = sim.run(binary);
+  const SimResult without_index = sim.run(stripped);
+  EXPECT_EQ(with_index.total.server.value(),
+            without_index.total.server.value());
+  ASSERT_EQ(with_index.swarms.size(), without_index.swarms.size());
+  for (std::size_t s = 0; s < with_index.swarms.size(); ++s) {
+    EXPECT_EQ(with_index.swarms[s].key.packed(),
+              without_index.swarms[s].key.packed());
+    EXPECT_EQ(with_index.swarms[s].traffic.server.value(),
+              without_index.swarms[s].traffic.server.value());
+    EXPECT_EQ(with_index.swarms[s].capacity,
+              without_index.swarms[s].capacity);
+  }
+}
+
+TEST(TraceBinaryDeterminism, RelaxedPartitionsIgnoreIndexAndMatchCsv) {
+  // Cross-ISP / mixed-bitrate ablations cannot use the full-key index;
+  // they must fall back to hash grouping and still match the CSV path.
+  const Trace& csv = determinism_trace_csv();
+  const Trace& binary = determinism_trace_binary();
+  for (const bool isp_friendly : {false, true}) {
+    SimConfig config;
+    config.threads = 2;
+    config.isp_friendly = isp_friendly;
+    config.split_by_bitrate = false;
+    const HybridSimulator sim(metro(), config);
+    const SimResult from_csv = sim.run(csv);
+    const SimResult from_binary = sim.run(binary);
+    EXPECT_EQ(from_csv.total.server.value(),
+              from_binary.total.server.value());
+    EXPECT_EQ(from_csv.swarms.size(), from_binary.swarms.size());
+  }
+}
+
+TEST(TraceBinaryDeterminism, AnalyzerAggregateIdenticalMmapVsCsv) {
+  const Trace& csv = determinism_trace_csv();
+  const Trace& binary = determinism_trace_binary();
+  SimConfig reference_config;
+  reference_config.threads = 1;
+  const auto reference = Analyzer(metro(), reference_config).aggregate(csv);
+  for (const unsigned threads : {1u, 2u, 7u, 0u}) {
+    SimConfig config;
+    config.threads = threads;
+    expect_aggregates_identical(
+        Analyzer(metro(), config).aggregate(binary), reference);
+  }
+}
+
+TEST(TraceBinaryDeterminism, AnalyzerDailyReportIdenticalMmapVsCsv) {
+  const Trace& csv = determinism_trace_csv();
+  const Trace& binary = determinism_trace_binary();
+  SimConfig reference_config;
+  reference_config.threads = 1;
+  const DailyReport reference =
+      Analyzer(metro(), reference_config).daily_report(csv);
+  SimConfig config;
+  config.threads = 4;
+  const DailyReport report = Analyzer(metro(), config).daily_report(binary);
+  EXPECT_EQ(report.sim, reference.sim);
+  EXPECT_EQ(report.theory, reference.theory);
+}
+
+}  // namespace
+}  // namespace cl

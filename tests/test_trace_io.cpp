@@ -56,12 +56,52 @@ TEST(TraceIo, SpanCommentWrittenFirst) {
   EXPECT_EQ(out.str().rfind("#span=86400", 0), 0u);
 }
 
+TEST(TraceIo, FractionalSpanRoundTripsExactly) {
+  // The span comment used to be streamed at 6 significant digits; a
+  // fractional span then read back *smaller* than a session's end and the
+  // reader rejected its own writer's output.
+  Trace t;
+  t.span = Seconds{2592034.5678901234};
+  SessionRecord s;
+  s.bitrate = BitrateClass::kSd;
+  s.start = 2592000.0;
+  s.duration = 34.5678901234;
+  t.sessions = {s};
+  std::ostringstream out;
+  write_trace(out, t);
+  std::istringstream in(out.str());
+  const Trace restored = read_trace(in);
+  EXPECT_EQ(restored.span.value(), t.span.value());  // exact, not near
+}
+
 TEST(TraceIo, ReaderInfersSpanWithoutComment) {
   std::istringstream in(
       "user,household,content,isp,exp,bitrate,start,duration\n"
       "1,1,0,0,0,sd,100,500\n");
   const Trace t = read_trace(in);
   EXPECT_DOUBLE_EQ(t.span.value(), 600.0);
+}
+
+TEST(TraceIo, EqualStartTimesKeepFileOrder) {
+  // Quantized timestamps produce ties; an unstable sort would permute
+  // them and break the byte-exact write -> read -> write round trip.
+  std::istringstream in(
+      "#span=86400\n"
+      "user,household,content,isp,exp,bitrate,start,duration\n"
+      "7,1,0,0,0,sd,100,10\n"
+      "3,1,0,0,0,sd,100,10\n"
+      "9,1,0,0,0,sd,100,10\n");
+  const Trace t = read_trace(in);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.sessions[0].user, 7u);
+  EXPECT_EQ(t.sessions[1].user, 3u);
+  EXPECT_EQ(t.sessions[2].user, 9u);
+  std::ostringstream out;
+  write_trace(out, t);
+  std::istringstream in2(out.str());
+  std::ostringstream out2;
+  write_trace(out2, read_trace(in2));
+  EXPECT_EQ(out.str(), out2.str());
 }
 
 TEST(TraceIo, ReaderSortsByStart) {
@@ -85,6 +125,42 @@ TEST(TraceIo, RejectsBadNumber) {
       "user,household,content,isp,exp,bitrate,start,duration\n"
       "abc,1,0,0,0,sd,100,10\n");
   EXPECT_THROW(read_trace(in), ParseError);
+}
+
+TEST(TraceIo, RejectsGarbageAfterClosingQuote) {
+  // `"100"5` used to silently parse as 1005 — trailing garbage after a
+  // quoted field must be a hard error.
+  std::istringstream in(
+      "user,household,content,isp,exp,bitrate,start,duration\n"
+      "1,1,0,0,0,sd,\"100\"5,10\n");
+  EXPECT_THROW(read_trace(in), ParseError);
+}
+
+TEST(TraceIo, RejectsGarbageOnUnterminatedLastLine) {
+  // A last line without trailing newline still gets full validation.
+  std::istringstream in(
+      "user,household,content,isp,exp,bitrate,start,duration\n"
+      "1,1,0,0,0,sd,100,\"10\"junk");
+  EXPECT_THROW(read_trace(in), ParseError);
+}
+
+TEST(TraceIo, RejectsStrayCarriageReturnInsideLine) {
+  // Interior \r used to be silently stripped ("1\r00" parsed as 100).
+  std::istringstream in(
+      "user,household,content,isp,exp,bitrate,start,duration\n"
+      "1,1,0,0,0,sd,1\r00,10\n");
+  EXPECT_THROW(read_trace(in), ParseError);
+}
+
+TEST(TraceIo, AcceptsCrlfLineEndings) {
+  std::istringstream in(
+      "#span=86400\r\n"
+      "user,household,content,isp,exp,bitrate,start,duration\r\n"
+      "1,1,0,0,0,sd,100,10\r\n");
+  const Trace t = read_trace(in);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_DOUBLE_EQ(t.span.value(), 86400.0);
+  EXPECT_DOUBLE_EQ(t.sessions[0].start, 100.0);
 }
 
 TEST(TraceIo, RejectsMissingColumn) {
