@@ -4,6 +4,7 @@
 #include <iostream>
 #include <string>
 
+#include "topology/metro_registry.h"
 #include "topology/placement.h"
 #include "trace/synthetic.h"
 
@@ -18,10 +19,10 @@ inline void banner(const std::string& artefact, const std::string& note) {
             << "================================================================\n";
 }
 
-/// The London metro used by every experiment.
+/// The London metro the paper benches reproduce (fig_cross_metro sweeps
+/// every registry preset instead).
 inline const Metro& metro() {
-  static const Metro m = Metro::london_top5();
-  return m;
+  return MetroRegistry::instance().get(kDefaultMetroName);
 }
 
 inline void print_trace_scale(const TraceConfig& config) {

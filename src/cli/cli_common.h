@@ -2,8 +2,10 @@
 #pragma once
 
 #include <iostream>
+#include <string>
 
 #include "sim/sim_config.h"
+#include "topology/metro_registry.h"
 #include "topology/placement.h"
 #include "trace/synthetic.h"
 #include "trace/trace_format.h"
@@ -12,10 +14,50 @@
 
 namespace cl::cli {
 
-/// The London metro every command runs against.
-inline const Metro& metro() {
-  static const Metro m = Metro::london_top5();
-  return m;
+/// The --metro flag value ("london_top5" when absent).
+inline std::string metro_flag(const Args& args) {
+  return args.get_or("metro", kDefaultMetroName);
+}
+
+/// Registry lookup with a CLI-grade error: an unknown name is a hard
+/// argument error (exit 2) listing every valid preset.
+inline const Metro& metro_by_name(const std::string& name) {
+  const MetroRegistry& registry = MetroRegistry::instance();
+  if (const Metro* metro = registry.find(name)) return *metro;
+  throw ParseError("unknown metro '" + name +
+                   "' (valid: " + registry.names_joined() + ")");
+}
+
+/// The metro selected by --metro (commands without a trace: generate,
+/// model, plan).
+inline const Metro& metro_from_flag(const Args& args) {
+  return metro_by_name(metro_flag(args));
+}
+
+/// The metro a trace-consuming command should analyze with: an explicit
+/// --metro wins (with a warning when it contradicts the trace header),
+/// then the metro recorded in the trace, then the default. A trace
+/// stamped with a metro this build does not know is an error — analyzing
+/// it against the wrong tree would be silently wrong.
+inline const Metro& resolve_metro(const Args& args, const Trace& trace) {
+  if (args.has("metro")) {
+    const std::string name = metro_flag(args);
+    if (!trace.metro_name.empty() && trace.metro_name != name) {
+      std::cerr << "warning: trace was generated for metro '"
+                << trace.metro_name << "'; analyzing with --metro " << name
+                << "\n";
+    }
+    return metro_by_name(name);
+  }
+  const MetroRegistry& registry = MetroRegistry::instance();
+  if (!trace.metro_name.empty()) {
+    if (const Metro* metro = registry.find(trace.metro_name)) return *metro;
+    throw InvalidArgument("trace was generated for unknown metro '" +
+                          trace.metro_name + "' (valid: " +
+                          registry.names_joined() +
+                          "); pass --metro to pick the analysis topology");
+  }
+  return registry.get(kDefaultMetroName);
 }
 
 /// Shared --threads knob: worker threads for sharded generation, the
@@ -36,19 +78,21 @@ inline TraceFormat trace_format_from(const Args& args,
 
 /// Loads --trace PATH (CSV or binary, per --format / sniffing), or
 /// generates a scaled synthetic month when the flag is absent
-/// (--days / --seed apply to the generated fallback).
+/// (--days / --seed / --metro apply to the generated fallback).
 inline Trace load_or_generate(const Args& args) {
   if (const auto path = args.get("trace")) {
     return read_trace_any(*path, trace_format_from(args), threads_from(args));
   }
   TraceConfig config =
       TraceConfig::london_month_scaled(args.get_double("days", 10));
+  config.metro = metro_flag(args);
   config.seed = static_cast<std::uint64_t>(
       args.get_int("seed", static_cast<std::int64_t>(config.seed)));
   config.threads = threads_from(args);
   std::cout << "(no --trace given: generating a scaled synthetic month, "
-            << config.days << " days, seed " << config.seed << ")\n";
-  return TraceGenerator(config, metro()).generate();
+            << config.days << " days, seed " << config.seed << ", metro "
+            << config.metro << ")\n";
+  return TraceGenerator(config, metro_by_name(config.metro)).generate();
 }
 
 /// Builds the simulator configuration from the shared flags.

@@ -30,6 +30,7 @@ TraceConfig preset_config(const Args& args) {
     throw ParseError("unknown preset '" + preset + "' (london|paper|small)");
   }
   config.days = args.get_double("days", config.days);
+  config.metro = metro_flag(args);
   config.seed = static_cast<std::uint64_t>(
       args.get_int("seed", static_cast<std::int64_t>(config.seed)));
   config.users = static_cast<std::uint32_t>(
@@ -44,14 +45,14 @@ int cmd_generate(const Args& args) {
   const auto out_path = args.get("out");
   if (!out_path) throw ParseError("generate requires --out PATH");
   const TraceConfig config = preset_config(args);
-  const Metro metro = Metro::london_top5();
+  const Metro& metro = metro_by_name(config.metro);
   TraceGenerator generator(config, metro);
   const Trace trace = generator.generate();
   write_trace_any(*out_path, trace, trace_format_from(args));
   if (!args.has("quiet")) {
     std::cout << "wrote " << trace.size() << " sessions ("
-              << config.days << " days, seed " << config.seed << ") to "
-              << *out_path << "\n\n";
+              << config.days << " days, seed " << config.seed << ", metro "
+              << config.metro << ") to " << *out_path << "\n\n";
     print_trace_stats(std::cout, compute_stats(trace), trace.span);
   }
   return 0;

@@ -11,7 +11,7 @@ namespace cl::cli {
 
 int cmd_ledger(const Args& args) {
   const Trace trace = load_or_generate(args);
-  const Analyzer analyzer(metro(), sim_config_from(args));
+  const Analyzer analyzer(resolve_metro(args, trace), sim_config_from(args));
   const SimResult result = analyzer.simulate(trace);
   for (const auto& params : analyzer.models()) {
     std::cout << "\n";
@@ -29,23 +29,24 @@ int usage(int exit_code) {
 usage: consumelocal COMMAND [flags]
 
 commands:
-  generate  --out PATH [--preset london|paper|small] [--days N] [--seed S]
-            [--users N] [--format auto|csv|binary] [--threads N]
+  generate  --out PATH [--preset london|paper|small] [--metro NAME]
+            [--days N] [--seed S] [--users N]
+            [--format auto|csv|binary] [--threads N]
                                   write a synthetic workload trace
   convert   --in PATH --out PATH [--from auto|csv|binary]
             [--to auto|csv|binary] [--threads N]
                                   convert between CSV and binary .cltrace
-  simulate  [--trace PATH] [--format auto|csv|binary] [--qb R]
-            [--cross-isp] [--mixed-bitrate]
+  simulate  [--trace PATH] [--metro NAME] [--format auto|csv|binary]
+            [--qb R] [--cross-isp] [--mixed-bitrate]
             [--matcher existence|capacity] [--threads N]
                                   aggregate hybrid-vs-CDN savings report
-  swarm     [--trace PATH] --content ID [--isp I] [--qb R]
+  swarm     [--trace PATH] --content ID [--isp I] [--metro NAME] [--qb R]
                                   one swarm, simulation vs closed form
-  model     [--capacity C] [--qb R]
+  model     [--capacity C] [--qb R] [--metro NAME]
                                   evaluate Eqs. 3/12/13 (no simulation)
-  plan      [--target S] [--qb R] [--minutes M]
+  plan      [--target S] [--qb R] [--minutes M] [--metro NAME]
                                   capacities & popularity for targets
-  ledger    [--trace PATH] [--qb R]
+  ledger    [--trace PATH] [--metro NAME] [--qb R]
                                   per-user carbon credit ledger
 
 Commands that accept --trace generate a scaled synthetic London month when
@@ -55,7 +56,17 @@ month-scale traces; "auto" sniffs the format). --threads N shards trace
 generation, binary trace loading, the simulator's per-swarm sweep, and
 analysis across N workers (0 = all cores); results are bit-identical at
 any N.
+
+--metro NAME picks the ISP tree topology preset (trace headers record it;
+trace-consuming commands default to the trace's own metro):
 )";
+  for (const auto& preset : MetroRegistry::instance().presets()) {
+    std::cout << "  " << preset.name;
+    for (std::size_t pad = preset.name.size(); pad < 14; ++pad) {
+      std::cout << ' ';
+    }
+    std::cout << preset.description << "\n";
+  }
   return exit_code;
 }
 

@@ -14,15 +14,17 @@ namespace cl::cli {
 int cmd_model(const Args& args) {
   const double capacity = args.get_double("capacity", 10.0);
   const double qb = args.get_double("qb", 1.0);
+  const Metro& metro = metro_from_flag(args);
   std::cout << "\nclosed-form evaluation at capacity c = " << capacity
-            << ", q/b = " << qb << " (ISP-1 tree):\n\n";
+            << ", q/b = " << qb << " (metro " << metro.name()
+            << ", ISP-1 tree):\n\n";
   TextTable table({"model", "offload G", "S (Eq.12)", "S split (ISPxBR)",
                    "CCT", "CDN comp", "User comp"});
   const std::array<double, kBitrateClasses> mix{0.08, 0.72, 0.15, 0.05};
   for (const auto& params : standard_params()) {
-    const SavingsModel model(params, metro().isp(0));
+    const SavingsModel model(params, metro.isp(0));
     const auto split =
-        SplitSwarmModel::isp_bitrate_partition(params, metro(), mix);
+        SplitSwarmModel::isp_bitrate_partition(params, metro, mix);
     const auto comp = model.components(capacity, qb);
     table.add_row({params.name, fmt_pct(model.offload(capacity, qb)),
                    fmt(model.savings(capacity, qb), 4),

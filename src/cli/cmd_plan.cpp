@@ -12,15 +12,17 @@ namespace cl::cli {
 int cmd_plan(const Args& args) {
   const double target = args.get_double("target", 0.2);
   const double qb = args.get_double("qb", 1.0);
+  const Metro& metro = metro_from_flag(args);
   const Seconds episode =
       Seconds::from_minutes(args.get_double("minutes", 30));
   std::cout << "\nplanning for S >= " << fmt_pct(target) << " at q/b = " << qb
-            << " (" << episode.minutes() << "-minute programmes):\n\n";
+            << " (" << episode.minutes() << "-minute programmes, metro "
+            << metro.name() << "):\n\n";
   TextTable table({"model", "capacity for target",
                    "views/month for target", "carbon-neutral capacity",
                    "carbon-neutral views/month", "ceiling S"});
   for (const auto& params : standard_params()) {
-    const SavingsModel model(params, metro().isp(0));
+    const SavingsModel model(params, metro.isp(0));
     const Planner planner(model);
     std::string cap = "unreachable", views = "-", ncap = "unreachable",
                 nviews = "-";

@@ -10,9 +10,11 @@ namespace cl::cli {
 
 int cmd_simulate(const Args& args) {
   const Trace trace = load_or_generate(args);
-  const Analyzer analyzer(metro(), sim_config_from(args));
+  const Metro& metro = resolve_metro(args, trace);
+  const Analyzer analyzer(metro, sim_config_from(args));
   std::cout << "\nsessions: " << trace.size() << ", span "
-            << trace.span.value() / 86400.0 << " days\n\n";
+            << trace.span.value() / 86400.0 << " days, metro "
+            << metro.name() << "\n\n";
   print_aggregate(std::cout, analyzer.aggregate(trace));
   return 0;
 }

@@ -10,7 +10,8 @@ namespace cl::cli {
 
 /// `generate` — write a synthetic trace (CSV or binary .cltrace).
 ///   --out PATH (required), --days N, --seed S, --users N,
-///   --preset london|paper|small, --format auto|csv|binary,
+///   --preset london|paper|small, --metro NAME (topology preset,
+///   recorded in the trace header), --format auto|csv|binary,
 ///   --threads N (sharded generation)
 int cmd_generate(const Args& args);
 
@@ -22,25 +23,26 @@ int cmd_convert(const Args& args);
 /// `simulate` — run the hybrid-CDN simulator over a trace and print the
 /// aggregate savings report.
 ///   --trace PATH (required; or --preset to self-generate),
+///   --metro NAME (defaults to the trace header's metro),
 ///   --format auto|csv|binary, --qb R,
 ///   --cross-isp, --mixed-bitrate, --matcher existence|capacity,
 ///   --threads N (sharded generation/simulation/analysis)
 int cmd_simulate(const Args& args);
 
 /// `swarm` — analyze one content swarm: sim vs theory (a Fig. 2 dot).
-///   --trace PATH, --content ID, --isp I, --qb R
+///   --trace PATH, --content ID, --isp I, --metro NAME, --qb R
 int cmd_swarm(const Args& args);
 
 /// `model` — evaluate the closed form at a capacity (no simulation).
-///   --capacity C, --qb R
+///   --capacity C, --qb R, --metro NAME
 int cmd_model(const Args& args);
 
 /// `plan` — invert the model: capacities for savings/carbon targets.
-///   --target S, --qb R, --minutes M
+///   --target S, --qb R, --minutes M, --metro NAME
 int cmd_plan(const Args& args);
 
 /// `ledger` — per-user carbon credit ledger over a trace.
-///   --trace PATH (or --preset), --qb R
+///   --trace PATH (or --preset), --metro NAME, --qb R
 int cmd_ledger(const Args& args);
 
 /// Prints usage to stdout; returns the given exit code.

@@ -90,6 +90,27 @@ HybridSimulator::HybridSimulator(const Metro& metro, SimConfig config)
 }
 
 SimResult HybridSimulator::run(const Trace& trace) const {
+  // A trace replayed against the wrong metro (e.g. a London trace whose
+  // 345 exchange-point ids overflow the sparser us_sparse trees) would
+  // only surface as an opaque contract failure deep inside a sweep — or
+  // worse, not at all when the ids happen to fit. Check the whole trace
+  // against this metro's shape up front; one O(n) pass is noise next to
+  // the sweep itself.
+  for (const SessionRecord& s : trace.sessions) {
+    if (s.isp >= metro_->isp_count() ||
+        s.exp >= metro_->isp(s.isp).exchange_points()) {
+      const std::string metro_label =
+          metro_->name().empty() ? std::string("<unnamed>") : metro_->name();
+      throw InvalidArgument(
+          "trace does not fit metro '" + metro_label + "': session has isp " +
+          std::to_string(s.isp) + ", exp " + std::to_string(s.exp) +
+          (trace.metro_name.empty()
+               ? std::string()
+               : " (trace was generated for metro '" + trace.metro_name +
+                     "')"));
+    }
+  }
+
   // Partials start with an empty daily grid; sweeps grow it only for the
   // days their swarms actually touch (a month of per-chunk full grids
   // would cost O(chunks × days × isps) up-front), and run() pads the

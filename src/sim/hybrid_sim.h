@@ -46,7 +46,10 @@ class HybridSimulator {
 
   /// Simulates the whole trace: groups sessions into swarms, sweeps each
   /// swarm on SimConfig::threads workers, and merges the per-swarm /
-  /// per-day / per-user metrics deterministically.
+  /// per-day / per-user metrics deterministically. Throws
+  /// cl::InvalidArgument when the trace's ISP/exchange-point ids do not
+  /// fit this metro's trees (a trace replayed against the wrong metro —
+  /// see topology/metro_registry.h).
   [[nodiscard]] SimResult run(const Trace& trace) const;
 
  private:

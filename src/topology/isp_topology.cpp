@@ -25,14 +25,18 @@ IspTopology IspTopology::london_default(std::string name) {
 }
 
 IspTopology IspTopology::scaled(std::string name, double share) {
-  CL_EXPECTS(share > 0 && share <= 1.0);
-  const auto base = london_default();
+  return scaled_of(london_default(), std::move(name), share);
+}
+
+IspTopology IspTopology::scaled_of(const IspTopology& base, std::string name,
+                                   double ratio) {
+  CL_EXPECTS(ratio > 0 && ratio <= 1.0);
   const auto n_pop = std::max<std::uint32_t>(
       1, static_cast<std::uint32_t>(
-             std::lround(share * static_cast<double>(base.pops()))));
+             std::lround(ratio * static_cast<double>(base.pops()))));
   const auto n_exp = std::max<std::uint32_t>(
       n_pop, static_cast<std::uint32_t>(std::lround(
-                 share * static_cast<double>(base.exchange_points()))));
+                 ratio * static_cast<double>(base.exchange_points()))));
   return IspTopology(std::move(name), n_exp, n_pop);
 }
 

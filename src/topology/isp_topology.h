@@ -60,6 +60,12 @@ class IspTopology {
   /// at least one ExP per PoP. Used for the smaller of the top-5 ISPs.
   [[nodiscard]] static IspTopology scaled(std::string name, double share);
 
+  /// A topology scaled to `ratio` of an arbitrary base tree (the metro
+  /// presets scale their smaller ISPs from each metro's own ISP-1 shape,
+  /// not from London's). `ratio` must be in (0, 1].
+  [[nodiscard]] static IspTopology scaled_of(const IspTopology& base,
+                                             std::string name, double ratio);
+
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::uint32_t exchange_points() const { return n_exp_; }
   [[nodiscard]] std::uint32_t pops() const { return n_pop_; }

@@ -1,0 +1,57 @@
+#include "topology/metro_registry.h"
+
+#include <utility>
+
+#include "util/error.h"
+
+namespace cl {
+
+MetroRegistry::MetroRegistry() {
+  const auto add = [this](Metro metro, std::string description) {
+    CL_EXPECTS(!metro.name().empty());
+    infos_.push_back({metro.name(), std::move(description)});
+    metros_.push_back(std::move(metro));
+  };
+  add(Metro::london_top5(),
+      "the paper's top-5 London ISPs (ISP-1: 345 ExPs / 9 PoPs / 1 core)");
+  add(Metro::us_sparse(),
+      "US-style sparse-ExP metro, 4 ISPs (ISP-1: 40 ExPs / 12 PoPs / 1 core)");
+  add(Metro::fiber_dense(),
+      "dense-ExP fiber metro, 3 ISPs (ISP-1: 900 ExPs / 15 PoPs / 1 core)");
+}
+
+const MetroRegistry& MetroRegistry::instance() {
+  static const MetroRegistry registry;
+  return registry;
+}
+
+const Metro* MetroRegistry::find(const std::string& name) const {
+  for (std::size_t i = 0; i < infos_.size(); ++i) {
+    if (infos_[i].name == name) return &metros_[i];
+  }
+  return nullptr;
+}
+
+const Metro& MetroRegistry::get(const std::string& name) const {
+  if (const Metro* metro = find(name)) return *metro;
+  throw InvalidArgument("unknown metro '" + name +
+                        "' (valid: " + names_joined() + ")");
+}
+
+std::vector<std::string> MetroRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(infos_.size());
+  for (const auto& info : infos_) out.push_back(info.name);
+  return out;
+}
+
+std::string MetroRegistry::names_joined(const char* separator) const {
+  std::string out;
+  for (const auto& info : infos_) {
+    if (!out.empty()) out += separator;
+    out += info.name;
+  }
+  return out;
+}
+
+}  // namespace cl

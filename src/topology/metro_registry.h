@@ -1,0 +1,74 @@
+// metro_registry.h — the named metro topology presets.
+//
+// The paper's evaluation fixes one metro (the top-5 London ISPs of
+// Table III), but its model is parametric in the ISP tree shape: every
+// result consumes the metro only through the per-layer localisation
+// probabilities and the ISP market-share partition. The registry turns
+// that parameter into a first-class, named input — `--metro <name>` on
+// the CLI, `TraceConfig::metro` in the generator, the `#metro=` /
+// `.cltrace` trace-header field — so any experiment can run against any
+// preset (and cross-metro experiments can sweep all of them).
+//
+// Presets (see DESIGN.md §"Metro topologies" for the tree diagrams):
+//
+//   london_top5  the paper's setting — 5 ISPs, ISP-1 345 ExPs / 9 PoPs
+//   us_sparse    US-style sparse-ExP metro — 4 ISPs, ISP-1 40 / 12
+//   fiber_dense  dense-ExP fiber metro — 3 ISPs, ISP-1 900 / 15
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/placement.h"
+
+namespace cl {
+
+/// The registry key every command defaults to (the paper's metro).
+inline constexpr char kDefaultMetroName[] = "london_top5";
+
+/// Name + one-line summary of one registry preset (for --help / errors).
+struct MetroPresetInfo {
+  std::string name;
+  std::string description;
+};
+
+/// Immutable catalogue of the named metro presets. Lookups return
+/// long-lived references — the registry outlives every Analyzer /
+/// TraceGenerator built on top of it.
+class MetroRegistry {
+ public:
+  /// The process-wide registry (built once, thread-safe init).
+  [[nodiscard]] static const MetroRegistry& instance();
+
+  /// The preset metro called `name`, or nullptr — the one lookup
+  /// primitive `contains`/`get` and the CLI's error paths share.
+  [[nodiscard]] const Metro* find(const std::string& name) const;
+
+  /// True when `name` is a registered preset.
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return find(name) != nullptr;
+  }
+
+  /// The preset metro called `name`; throws cl::InvalidArgument listing
+  /// every valid name otherwise.
+  [[nodiscard]] const Metro& get(const std::string& name) const;
+
+  /// Preset names in registration order (london_top5 first).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Name/description pairs in registration order.
+  [[nodiscard]] const std::vector<MetroPresetInfo>& presets() const {
+    return infos_;
+  }
+
+  /// "london_top5, us_sparse, fiber_dense" — for error messages / help.
+  [[nodiscard]] std::string names_joined(const char* separator = ", ") const;
+
+ private:
+  MetroRegistry();
+
+  std::vector<MetroPresetInfo> infos_;
+  std::vector<Metro> metros_;  ///< parallel to infos_
+};
+
+}  // namespace cl

@@ -17,9 +17,28 @@ double UniformPlacer::same_pop_probability() const {
   return 1.0 / static_cast<double>(topo_->pops());
 }
 
-Metro::Metro(std::vector<IspTopology> topologies, std::vector<double> shares)
+namespace {
+
+/// Shared preset shape: ISP-1 carries `base`; smaller ISPs are
+/// share-scaled copies of it, exactly as london_top5 builds its tail.
+Metro share_scaled_metro(const IspTopology& base, const char* isp_prefix,
+                         std::vector<double> shares, std::string name) {
+  std::vector<IspTopology> topos;
+  topos.push_back(base);
+  for (std::size_t i = 1; i < shares.size(); ++i) {
+    topos.push_back(IspTopology::scaled_of(
+        base, std::string(isp_prefix) + std::to_string(i + 1),
+        shares[i] / shares[0]));
+  }
+  return Metro(std::move(topos), std::move(shares), std::move(name));
+}
+
+}  // namespace
+
+Metro::Metro(std::vector<IspTopology> topologies, std::vector<double> shares,
+             std::string name)
     : topologies_(std::move(topologies)), shares_(std::move(shares)),
-      sampler_(shares_) {
+      name_(std::move(name)), sampler_(shares_) {
   CL_EXPECTS(!topologies_.empty());
   CL_EXPECTS(topologies_.size() == shares_.size());
   double sum = 0;
@@ -32,14 +51,24 @@ Metro Metro::london_top5() {
   // Market shares approximate the UK's top-5 fixed-line ISPs at trace time
   // (BT-like, Sky-like, Virgin-like, TalkTalk-like, EE-like). ISP-1 uses
   // the exact published tree of Table III; the others are scaled copies.
-  std::vector<double> shares{0.32, 0.23, 0.20, 0.14, 0.11};
-  std::vector<IspTopology> topos;
-  topos.push_back(IspTopology::london_default("ISP-1"));
-  for (std::size_t i = 1; i < shares.size(); ++i) {
-    topos.push_back(IspTopology::scaled("ISP-" + std::to_string(i + 1),
-                                        shares[i] / shares[0]));
-  }
-  return Metro(std::move(topos), std::move(shares));
+  return share_scaled_metro(IspTopology::london_default("ISP-1"), "ISP-",
+                            {0.32, 0.23, 0.20, 0.14, 0.11}, "london_top5");
+}
+
+Metro Metro::us_sparse() {
+  // US metros aggregate through far fewer, far larger exchange points
+  // than European ones (IXP sparsity), and the fixed-line market
+  // concentrates on four large ISPs. ISP-1: 40 ExPs / 12 PoPs / 1 core.
+  return share_scaled_metro(IspTopology("US-ISP-1", 40, 12), "US-ISP-",
+                            {0.34, 0.27, 0.22, 0.17}, "us_sparse");
+}
+
+Metro Metro::fiber_dense() {
+  // Fiber-to-the-home pushes aggregation down to street-cabinet scale:
+  // many small exchange points under each PoP, and a market concentrated
+  // on three fiber operators. ISP-1: 900 ExPs / 15 PoPs / 1 core.
+  return share_scaled_metro(IspTopology("FIB-ISP-1", 900, 15), "FIB-ISP-",
+                            {0.45, 0.33, 0.22}, "fiber_dense");
 }
 
 const IspTopology& Metro::isp(std::size_t i) const {

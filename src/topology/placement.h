@@ -42,16 +42,36 @@ class UniformPlacer {
 /// A metropolitan area served by several ISPs with given market shares.
 ///
 /// The paper's trace spans five major ISPs; swarms are ISP-friendly, i.e.
-/// peers are only matched within one ISP's tree.
+/// peers are only matched within one ISP's tree. Named metros (the
+/// presets below, looked up via topology/metro_registry.h) stamp their
+/// name into generated traces so an analysis can recover the topology a
+/// workload was placed on.
 class Metro {
  public:
   /// Builds a metro with one tree per ISP. `shares` need not sum to one
-  /// (they are normalised); topologies[i] serves shares[i].
-  Metro(std::vector<IspTopology> topologies, std::vector<double> shares);
+  /// (they are normalised); topologies[i] serves shares[i]. `name` is the
+  /// registry key for preset metros and empty for ad-hoc custom metros
+  /// (unnamed metros are never stamped into trace headers).
+  Metro(std::vector<IspTopology> topologies, std::vector<double> shares,
+        std::string name = "");
 
   /// The paper's setting: top-5 London ISPs. ISP-1 uses the published
   /// 345/9/1 tree; smaller ISPs are share-scaled copies.
   [[nodiscard]] static Metro london_top5();
+
+  /// A US-style sparse-exchange metro: four large ISPs, each aggregating
+  /// through few, large exchange points (ISP-1: 40 ExPs over 12 PoPs).
+  /// Sub-core localisation (1/12) is *lower* than London's (1/9) while
+  /// per-ExP localisation (1/40) is higher — see DESIGN.md §6.
+  [[nodiscard]] static Metro us_sparse();
+
+  /// A dense-ExP fiber metro: three fiber ISPs whose street-cabinet-level
+  /// aggregation yields many small exchange points (ISP-1: 900 ExPs over
+  /// 15 PoPs) — the low-fan-out extreme of the preset family.
+  [[nodiscard]] static Metro fiber_dense();
+
+  /// Registry key of a preset metro; empty for custom metros.
+  [[nodiscard]] const std::string& name() const { return name_; }
 
   [[nodiscard]] std::size_t isp_count() const { return topologies_.size(); }
   [[nodiscard]] const IspTopology& isp(std::size_t i) const;
@@ -67,6 +87,7 @@ class Metro {
  private:
   std::vector<IspTopology> topologies_;
   std::vector<double> shares_;
+  std::string name_;
   DiscreteSampler sampler_;
 };
 

@@ -6,6 +6,7 @@ Trace filter_trace(const Trace& trace,
                    const std::function<bool(const SessionRecord&)>& keep) {
   Trace out;
   out.span = trace.span;
+  out.metro_name = trace.metro_name;  // a subset lives in the same metro
   for (const auto& s : trace.sessions) {
     if (keep(s)) out.sessions.push_back(s);
   }

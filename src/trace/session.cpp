@@ -4,6 +4,15 @@
 
 namespace cl {
 
+bool valid_trace_metro_name(const std::string& name) {
+  if (name.size() > kTraceMetroNameMaxBytes) return false;
+  for (const char c : name) {
+    const auto byte = static_cast<unsigned char>(c);
+    if (byte < 0x20 || byte == 0x7f) return false;
+  }
+  return true;
+}
+
 Bits Trace::total_volume() const {
   Bits sum;
   for (const auto& s : sessions) sum += s.volume();
@@ -12,6 +21,7 @@ Bits Trace::total_volume() const {
 
 void Trace::validate() const {
   CL_EXPECTS(span.value() >= 0);
+  CL_EXPECTS(valid_trace_metro_name(metro_name));
   double prev_start = 0;
   for (const auto& s : sessions) {
     CL_EXPECTS(s.duration >= 0);

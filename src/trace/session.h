@@ -7,12 +7,23 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "trace/bitrate.h"
 #include "util/units.h"
 
 namespace cl {
+
+/// Longest metro name a trace header may carry (CSV `#metro=` comment and
+/// `.cltrace` block 13 share the cap).
+inline constexpr std::size_t kTraceMetroNameMaxBytes = 255;
+
+/// True when `name` may appear in a trace header: at most
+/// kTraceMetroNameMaxBytes bytes, no control characters (comment lines and
+/// fixed-width columns both break on embedded newlines). Empty is valid —
+/// it means "metro not recorded".
+[[nodiscard]] bool valid_trace_metro_name(const std::string& name);
 
 /// One user session streaming one content item.
 struct SessionRecord {
@@ -76,6 +87,12 @@ struct Trace {
   /// simulator's default (content, ISP, bitrate) grouping consumes it
   /// instead of re-grouping.
   SwarmIndex swarm_index;
+
+  /// Registry name of the metro the trace was generated for (see
+  /// topology/metro_registry.h), or empty when unknown (legacy files,
+  /// hand-written CSVs, custom metros). Round-trips through both on-disk
+  /// formats: the CSV `#metro=` comment and `.cltrace` v2 block 13.
+  std::string metro_name;
 
   [[nodiscard]] bool empty() const { return sessions.empty(); }
   [[nodiscard]] std::size_t size() const { return sessions.size(); }

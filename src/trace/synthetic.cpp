@@ -160,6 +160,7 @@ Trace TraceGenerator::generate() {
   Trace trace;
   trace.sessions = std::move(sessions);
   trace.span = config_.span();
+  trace.metro_name = metro_->name();  // empty for unnamed custom metros
   trace.validate();
   return trace;
 }
@@ -177,6 +178,7 @@ Trace TraceGenerator::generate_content(std::uint32_t content_id) {
   Trace trace;
   trace.sessions = std::move(sessions);
   trace.span = config_.span();
+  trace.metro_name = metro_->name();
   trace.validate();
   return trace;
 }

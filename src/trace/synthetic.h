@@ -35,6 +35,13 @@ struct TraceConfig {
   std::uint64_t seed = 20130901;  ///< master seed (epoch of the paper trace)
   double days = 30;               ///< trace span in days
 
+  /// Registry name of the metro the workload should be placed on
+  /// (topology/metro_registry.h). Advisory: TraceGenerator takes the
+  /// actual Metro by reference and stamps *its* name into the trace;
+  /// callers (CLI, benches) resolve this field through the registry
+  /// before constructing the generator.
+  std::string metro = "london_top5";
+
   /// Worker threads for generate(): content items are sharded across
   /// workers, each with its own deterministic per-content RNG stream, and
   /// recombined in content-id order — the resulting trace is bit-identical

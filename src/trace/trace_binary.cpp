@@ -108,10 +108,27 @@ std::string block_bytes(std::uint32_t id, const Trace& trace,
       bytes.reserve(index.order.size() * 4);
       for (const std::uint32_t i : index.order) append_u32_le(bytes, i);
       break;
+    case 13:
+      bytes = trace.metro_name;
+      break;
     default:
       CL_EXPECTS(id < kTraceBinaryBlockCount);
   }
   return bytes;
+}
+
+/// Directory element count of one block (see TraceBlockCountKind).
+std::uint64_t block_count(std::uint32_t id, std::size_t n, std::size_t groups,
+                          std::size_t metro_bytes) {
+  switch (kTraceBinaryCountKind[id]) {
+    case TraceBlockCountKind::kSessions:
+      return n;
+    case TraceBlockCountKind::kGroups:
+      return groups;
+    case TraceBlockCountKind::kMetroName:
+      return metro_bytes;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -119,6 +136,7 @@ std::string block_bytes(std::uint32_t id, const Trace& trace,
 void write_trace_binary(std::ostream& out, const Trace& trace) {
   const std::size_t n = trace.sessions.size();
   CL_EXPECTS(n <= std::numeric_limits<std::uint32_t>::max());
+  CL_EXPECTS(valid_trace_metro_name(trace.metro_name));
 
   const SwarmIndex built =
       trace.swarm_index.empty() && n > 0 ? build_swarm_index(trace)
@@ -127,17 +145,18 @@ void write_trace_binary(std::ostream& out, const Trace& trace) {
       trace.swarm_index.empty() && n > 0 ? built : trace.swarm_index;
   validate_swarm_index(index, trace);
   const std::size_t groups = index.groups.size();
+  const std::size_t metro_bytes = trace.metro_name.size();
 
-  // Every block's size is a function of (n, groups) alone, so the whole
-  // layout — offsets included — is computed before a single payload byte
-  // is built.
+  // Every block's size is a function of (n, groups, metro_bytes) alone,
+  // so the whole layout — offsets included — is computed before a single
+  // payload byte is built.
   std::uint64_t offsets[kTraceBinaryBlockCount];
   std::size_t cursor = align_up(kTraceBinaryHeaderBytes +
                                 kTraceBinaryBlockCount *
                                     kTraceBinaryDirEntryBytes);
   std::size_t total = cursor;
   for (std::uint32_t id = 0; id < kTraceBinaryBlockCount; ++id) {
-    const std::size_t count = kTraceBinaryCountIsSessions[id] ? n : groups;
+    const std::size_t count = block_count(id, n, groups, metro_bytes);
     offsets[id] = cursor;
     total = cursor + count * kTraceBinaryElemSize[id];
     cursor = align_up(total);
@@ -158,8 +177,7 @@ void write_trace_binary(std::ostream& out, const Trace& trace) {
     append_u32_le(header, id);
     append_u32_le(header, kTraceBinaryElemSize[id]);
     append_u64_le(header, offsets[id]);
-    append_u64_le(header,
-                  kTraceBinaryCountIsSessions[id] ? n : groups);
+    append_u64_le(header, block_count(id, n, groups, metro_bytes));
   }
   write_all(out, header);
 

@@ -9,17 +9,17 @@
 // shard column ranges across threads and materialize sessions without
 // parsing a single byte of text.
 //
-// On-disk layout (version 1, everything little-endian):
+// On-disk layout (version 2, everything little-endian):
 //
 //   offset  size  field
 //   0       8     magic "CLTRACE\0"
-//   8       4     format version (u32) = 1
+//   8       4     format version (u32) = 2
 //   12      4     reserved flags (u32) = 0
 //   16      8     session count n (u64)
 //   24      8     trace span in seconds (f64, IEEE-754 bit pattern)
-//   32      4     block count (u32) = 13
+//   32      4     block count (u32) = 14
 //   36      4     reserved (u32) = 0
-//   40      ...   block directory: 13 × {id u32, elem_size u32,
+//   40      ...   block directory: 14 × {id u32, elem_size u32,
 //                 offset u64, count u64} (24 bytes per entry)
 //   ...     ...   payload blocks, each 64-byte aligned, zero padding
 //
@@ -39,6 +39,8 @@
 //   10  index group bitrate  u8     g
 //   11  index group count    u64    g
 //   12  index session order  u32    n
+//   13  metro name           u8     m   (v2+: UTF-8 registry name,
+//                                        m = byte length, 0 = unknown)
 //
 // Sessions are stored in the trace's start-time order; the index blocks
 // are the swarm-key-sorted permutation. The expected file size is implied
@@ -46,8 +48,11 @@
 //
 // Version policy: any layout change — new/removed blocks, different
 // element widths, reordered header fields — bumps kTraceBinaryVersion and
-// the golden file under tests/data/. Readers reject other versions
-// outright (no silent best-effort decoding of a mislabeled layout).
+// adds a golden file under tests/data/. The reader accepts the current
+// version plus explicitly supported legacy versions (today: version 1,
+// which lacks block 13 — such traces load with an empty metro name) and
+// rejects everything else outright (no silent best-effort decoding of a
+// mislabeled layout). The writer always emits the current version.
 #pragma once
 
 #include <cstddef>
@@ -64,14 +69,24 @@ inline constexpr unsigned char kTraceBinaryMagic[8] = {'C', 'L', 'T', 'R',
                                                        'A', 'C', 'E', '\0'};
 
 /// Current format version (see the version policy above).
-inline constexpr std::uint32_t kTraceBinaryVersion = 1;
+inline constexpr std::uint32_t kTraceBinaryVersion = 2;
+
+/// Oldest version the reader still decodes (v1 = v2 minus the metro-name
+/// block).
+inline constexpr std::uint32_t kTraceBinaryLegacyVersion = 1;
 
 /// Payload blocks start on multiples of this (room for future zero-copy
 /// typed views; padding bytes are zero).
 inline constexpr std::size_t kTraceBinaryAlignment = 64;
 
-/// Number of blocks in a version-1 file.
-inline constexpr std::uint32_t kTraceBinaryBlockCount = 13;
+/// Number of blocks in a current (version-2) file.
+inline constexpr std::uint32_t kTraceBinaryBlockCount = 14;
+
+/// Number of blocks in a legacy version-1 file (no metro-name block).
+inline constexpr std::uint32_t kTraceBinaryBlockCountV1 = 13;
+
+/// Block id of the metro-name column (v2+).
+inline constexpr std::uint32_t kTraceBinaryMetroBlockId = 13;
 
 /// Size of the fixed header preceding the block directory.
 inline constexpr std::size_t kTraceBinaryHeaderBytes = 40;
@@ -83,14 +98,25 @@ inline constexpr std::size_t kTraceBinaryDirEntryBytes = 24;
 inline constexpr std::uint32_t kTraceBinaryElemSize[kTraceBinaryBlockCount] =
     {4, 4, 4, 4, 4, 1, 8, 8,  // session columns
      4, 4, 1, 8,              // index group columns
-     4};                      // index order
+     4,                       // index order
+     1};                      // metro name bytes
 
-/// True for blocks whose element count is the session count n (the rest
-/// hold one element per swarm-index group).
-inline constexpr bool kTraceBinaryCountIsSessions[kTraceBinaryBlockCount] =
-    {true, true, true, true, true, true, true, true,
-     false, false, false, false,
-     true};
+/// What a block's directory `count` field holds, indexed by block id.
+enum class TraceBlockCountKind : unsigned char {
+  kSessions,   ///< the session count n
+  kGroups,     ///< the swarm-index group count g
+  kMetroName,  ///< the metro-name byte length (0..kTraceMetroNameMaxBytes)
+};
+
+inline constexpr TraceBlockCountKind
+    kTraceBinaryCountKind[kTraceBinaryBlockCount] = {
+        TraceBlockCountKind::kSessions, TraceBlockCountKind::kSessions,
+        TraceBlockCountKind::kSessions, TraceBlockCountKind::kSessions,
+        TraceBlockCountKind::kSessions, TraceBlockCountKind::kSessions,
+        TraceBlockCountKind::kSessions, TraceBlockCountKind::kSessions,
+        TraceBlockCountKind::kGroups,   TraceBlockCountKind::kGroups,
+        TraceBlockCountKind::kGroups,   TraceBlockCountKind::kGroups,
+        TraceBlockCountKind::kSessions, TraceBlockCountKind::kMetroName};
 
 /// Serializes a trace into the `.cltrace` byte layout. Builds the swarm
 /// index with build_swarm_index when trace.swarm_index is empty, and

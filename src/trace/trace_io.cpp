@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 #include <string_view>
+#include <utility>
 
 #include "util/csv.h"
 #include "util/error.h"
@@ -41,6 +42,13 @@ void write_trace(std::ostream& out, const Trace& trace) {
   const auto span_res = std::to_chars(
       span_buf, span_buf + sizeof span_buf, trace.span.value());
   out << "#span=" << std::string_view(span_buf, span_res.ptr) << '\n';
+  // The metro comment is written only when recorded, so traces from
+  // before the metro field (and metro-less traces) keep their exact
+  // bytes through a write -> read -> write round trip.
+  CL_EXPECTS(valid_trace_metro_name(trace.metro_name));
+  if (!trace.metro_name.empty()) {
+    out << "#metro=" << trace.metro_name << '\n';
+  }
   CsvWriter writer(out, {"user", "household", "content", "isp", "exp",
                          "bitrate", "start", "duration"});
   for (const auto& s : trace.sessions) {
@@ -58,13 +66,24 @@ void write_trace_file(const std::string& path, const Trace& trace) {
 
 Trace read_trace(std::istream& in) {
   double span = -1;
-  if (in.peek() == '#') {
+  std::string metro_name;
+  // Leading #key=value comment lines, in any order; unknown comments are
+  // skipped so future header keys stay readable by this build. (Pre-metro
+  // builds consumed exactly one leading comment line, so CSVs carrying
+  // #metro= need this build or newer — same one-way street as the
+  // .cltrace v2 bump.)
+  while (in.peek() == '#') {
     std::string comment;
     std::getline(in, comment);
     if (!comment.empty() && comment.back() == '\r') comment.pop_back();
     const auto eq = comment.find('=');
     if (comment.rfind("#span=", 0) == 0 && eq != std::string::npos) {
       span = parse_double(comment.substr(eq + 1), "span");
+    } else if (comment.rfind("#metro=", 0) == 0 && eq != std::string::npos) {
+      metro_name = comment.substr(eq + 1);
+      if (metro_name.empty() || !valid_trace_metro_name(metro_name)) {
+        throw ParseError("bad metro name in #metro= header comment");
+      }
     }
   }
   const CsvDocument doc = read_csv(in);
@@ -102,6 +121,7 @@ Trace read_trace(std::istream& in) {
                      return a.start < b.start;
                    });
   trace.span = Seconds{span >= 0 ? span : max_end};
+  trace.metro_name = std::move(metro_name);
   trace.validate();
   return trace;
 }

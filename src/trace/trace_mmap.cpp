@@ -35,11 +35,16 @@ MappedTrace::MappedTrace(const std::string& path) : file_(path) {
     corrupt("bad magic (not a .cltrace file)");
   }
   version_ = load_u32_le(p + 8);
-  if (version_ != kTraceBinaryVersion) {
+  if (version_ < kTraceBinaryLegacyVersion || version_ > kTraceBinaryVersion) {
     corrupt("unsupported format version " + std::to_string(version_) +
-            " (this build reads version " +
+            " (this build reads versions " +
+            std::to_string(kTraceBinaryLegacyVersion) + ".." +
             std::to_string(kTraceBinaryVersion) + ")");
   }
+  // Legacy v1 files predate the metro-name block: 13 blocks, metro empty.
+  const std::uint32_t expected_blocks = version_ == kTraceBinaryLegacyVersion
+                                            ? kTraceBinaryBlockCountV1
+                                            : kTraceBinaryBlockCount;
   const std::uint64_t n = load_u64_le(p + 16);
   if (n > std::numeric_limits<std::uint32_t>::max()) {
     corrupt("session count exceeds the 32-bit index space");
@@ -47,9 +52,10 @@ MappedTrace::MappedTrace(const std::string& path) : file_(path) {
   sessions_ = static_cast<std::size_t>(n);
   span_ = Seconds{load_f64_le(p + 24)};
   const std::uint32_t blocks = load_u32_le(p + 32);
-  if (blocks != kTraceBinaryBlockCount) {
-    corrupt("expected " + std::to_string(kTraceBinaryBlockCount) +
-            " blocks, directory lists " + std::to_string(blocks));
+  if (blocks != expected_blocks) {
+    corrupt("expected " + std::to_string(expected_blocks) +
+            " blocks for version " + std::to_string(version_) +
+            ", directory lists " + std::to_string(blocks));
   }
   const std::size_t directory_end =
       kTraceBinaryHeaderBytes +
@@ -69,8 +75,9 @@ MappedTrace::MappedTrace(const std::string& path) : file_(path) {
     const std::uint32_t elem = load_u32_le(entry + 4);
     const std::uint64_t offset = load_u64_le(entry + 8);
     const std::uint64_t count = load_u64_le(entry + 16);
-    if (id >= kTraceBinaryBlockCount) {
-      corrupt("unknown block id " + std::to_string(id));
+    if (id >= expected_blocks) {
+      corrupt("unknown block id " + std::to_string(id) + " for version " +
+              std::to_string(version_));
     }
     if (seen[id]) corrupt("duplicate block id " + std::to_string(id));
     seen[id] = true;
@@ -79,18 +86,28 @@ MappedTrace::MappedTrace(const std::string& path) : file_(path) {
               std::to_string(elem) + ", expected " +
               std::to_string(kTraceBinaryElemSize[id]));
     }
-    if (kTraceBinaryCountIsSessions[id]) {
-      if (count != n) {
-        corrupt("block " + std::to_string(id) + " holds " +
-                std::to_string(count) + " elements, expected the session "
-                "count " + std::to_string(n));
-      }
-    } else {
-      if (groups_set && count != group_count) {
-        corrupt("index group blocks disagree on the group count");
-      }
-      group_count = count;
-      groups_set = true;
+    switch (kTraceBinaryCountKind[id]) {
+      case TraceBlockCountKind::kSessions:
+        if (count != n) {
+          corrupt("block " + std::to_string(id) + " holds " +
+                  std::to_string(count) + " elements, expected the session "
+                  "count " + std::to_string(n));
+        }
+        break;
+      case TraceBlockCountKind::kGroups:
+        if (groups_set && count != group_count) {
+          corrupt("index group blocks disagree on the group count");
+        }
+        group_count = count;
+        groups_set = true;
+        break;
+      case TraceBlockCountKind::kMetroName:
+        if (count > kTraceMetroNameMaxBytes) {
+          corrupt("metro name block exceeds " +
+                  std::to_string(kTraceMetroNameMaxBytes) + " bytes");
+        }
+        metro_bytes_ = static_cast<std::size_t>(count);
+        break;
     }
     const std::uint64_t bytes = count * elem;
     if (offset < directory_end || offset + bytes < offset ||
@@ -101,8 +118,8 @@ MappedTrace::MappedTrace(const std::string& path) : file_(path) {
     offsets_[id] = offset;
     if (offset + bytes > expected_end) expected_end = offset + bytes;
   }
-  // `seen` has no false entries here: 13 entries with ids < 13 and no
-  // duplicates pigeonhole into exactly one of each.
+  // `seen` has no gaps below expected_blocks here: that many entries with
+  // ids < expected_blocks and no duplicates pigeonhole into one of each.
   groups_ = static_cast<std::size_t>(group_count);
   if (groups_ > sessions_) {
     corrupt("more swarm-index groups than sessions");
@@ -114,6 +131,16 @@ MappedTrace::MappedTrace(const std::string& path) : file_(path) {
 
 const unsigned char* MappedTrace::block(std::size_t id) const {
   return file_.data() + offsets_[id];
+}
+
+std::string MappedTrace::metro_name() const {
+  if (metro_bytes_ == 0) return {};
+  std::string name(reinterpret_cast<const char*>(block(kTraceBinaryMetroBlockId)),
+                   metro_bytes_);
+  if (!valid_trace_metro_name(name)) {
+    corrupt("metro name block contains control characters");
+  }
+  return name;
 }
 
 SessionRecord MappedTrace::session(std::size_t i) const {
@@ -133,6 +160,7 @@ SessionRecord MappedTrace::session(std::size_t i) const {
 Trace MappedTrace::to_trace(unsigned threads) const {
   Trace trace;
   trace.span = span_;
+  trace.metro_name = metro_name();
   trace.sessions.resize(sessions_);
   const unsigned char* user = block(0);
   const unsigned char* household = block(1);

@@ -21,16 +21,18 @@ namespace cl {
 
 /// A validated, memory-mapped `.cltrace` file.
 ///
-/// Construction validates everything structural: magic, version, block
-/// directory (all 13 block ids present exactly once, element widths,
-/// counts, bounds) and the exact file size. Field-level validation —
-/// bitrate range, swarm-index consistency, session ordering — happens in
-/// to_trace(), which is the only way payload bytes become a Trace.
+/// Construction validates everything structural: magic, version (the
+/// current version 2, or the legacy version 1 without the metro-name
+/// block), block directory (every block id of that version present
+/// exactly once, element widths, counts, bounds) and the exact file
+/// size. Field-level validation — bitrate range, swarm-index
+/// consistency, session ordering — happens in to_trace(), which is the
+/// only way payload bytes become a Trace.
 class MappedTrace {
  public:
   /// Maps and validates `path`; throws cl::IoError when the file cannot
-  /// be mapped and cl::ParseError when it is not a well-formed version-1
-  /// `.cltrace` file.
+  /// be mapped and cl::ParseError when it is not a well-formed
+  /// `.cltrace` file of a supported version.
   explicit MappedTrace(const std::string& path);
 
   /// Number of sessions.
@@ -39,10 +41,13 @@ class MappedTrace {
   [[nodiscard]] std::size_t group_count() const { return groups_; }
   /// Trace span.
   [[nodiscard]] Seconds span() const { return span_; }
-  /// On-disk format version.
+  /// On-disk format version (kTraceBinaryLegacyVersion..kTraceBinaryVersion).
   [[nodiscard]] std::uint32_t version() const { return version_; }
   /// Total mapped bytes.
   [[nodiscard]] std::size_t file_size() const { return file_.size(); }
+  /// Metro name recorded in block 13 (empty for legacy v1 files and
+  /// traces generated against an unnamed metro).
+  [[nodiscard]] std::string metro_name() const;
 
   /// Decodes one session from the column blocks (bitrate unvalidated —
   /// use to_trace() for checked loading).
@@ -60,10 +65,12 @@ class MappedTrace {
   MappedFile file_;
   std::size_t sessions_ = 0;
   std::size_t groups_ = 0;
+  std::size_t metro_bytes_ = 0;
   Seconds span_;
   std::uint32_t version_ = 0;
-  /// Payload offset of each block, indexed by block id.
-  std::uint64_t offsets_[13] = {};
+  /// Payload offset of each block, indexed by block id (block 13 stays 0
+  /// for legacy v1 files).
+  std::uint64_t offsets_[14] = {};
 };
 
 /// Loads a `.cltrace` file into a Trace (mmap + sharded materialization).

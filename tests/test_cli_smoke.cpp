@@ -181,4 +181,141 @@ TEST(CliSmoke, ConvertRejectsMissingFlags) {
   EXPECT_NE(result.output.find("argument error"), std::string::npos);
 }
 
+// ------------------------------------------------------------ --metro flag
+
+TEST(CliSmoke, HelpListsMetroPresets) {
+  const RunResult result = run_cli("--help");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("--metro"), std::string::npos);
+  EXPECT_NE(result.output.find("london_top5"), std::string::npos);
+  EXPECT_NE(result.output.find("us_sparse"), std::string::npos);
+  EXPECT_NE(result.output.find("fiber_dense"), std::string::npos);
+}
+
+TEST(CliSmoke, GenerateRejectsUnknownMetroListingValidNames) {
+  std::filesystem::remove("/tmp/cl_smoke_nometro.csv");
+  const RunResult result = run_cli(
+      "generate --out /tmp/cl_smoke_nometro.csv --metro narnia "
+      "--preset small --days 1");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("unknown metro 'narnia'"), std::string::npos);
+  EXPECT_NE(result.output.find("london_top5"), std::string::npos);
+  EXPECT_NE(result.output.find("us_sparse"), std::string::npos);
+  EXPECT_NE(result.output.find("fiber_dense"), std::string::npos);
+  EXPECT_FALSE(std::filesystem::exists("/tmp/cl_smoke_nometro.csv"));
+}
+
+TEST(CliSmoke, SimulateRejectsUnknownMetro) {
+  const std::string trace = temp_trace_path() + ".badmetroflag";
+  const RunResult gen = run_cli("generate --out " + trace +
+                                " --preset small --days 1 --seed 3 --quiet");
+  ASSERT_EQ(gen.exit_code, 0) << gen.output;
+  const RunResult sim =
+      run_cli("simulate --trace " + trace + " --metro atlantis");
+  EXPECT_EQ(sim.exit_code, 2);
+  EXPECT_NE(sim.output.find("unknown metro 'atlantis'"), std::string::npos);
+  EXPECT_NE(sim.output.find("us_sparse"), std::string::npos);
+  std::filesystem::remove(trace);
+}
+
+TEST(CliSmoke, GenerateStampsMetroIntoCsvHeader) {
+  const std::string trace = temp_trace_path() + ".metrohdr";
+  const RunResult gen =
+      run_cli("generate --out " + trace +
+              " --preset small --days 1 --seed 3 --metro us_sparse --quiet");
+  ASSERT_EQ(gen.exit_code, 0) << gen.output;
+  std::ifstream in(trace);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1.rfind("#span=", 0), 0u);
+  EXPECT_EQ(line2, "#metro=us_sparse");
+  std::filesystem::remove(trace);
+}
+
+TEST(CliSmoke, SimulateFollowsTraceMetroHeader) {
+  const std::string trace = temp_trace_path() + ".metrofollow";
+  const RunResult gen =
+      run_cli("generate --out " + trace +
+              " --preset small --days 1 --seed 5 --metro us_sparse --quiet");
+  ASSERT_EQ(gen.exit_code, 0) << gen.output;
+  // No --metro flag: simulate must pick the topology recorded in the
+  // trace header, and say so in the report.
+  const RunResult sim = run_cli("simulate --trace " + trace);
+  ASSERT_EQ(sim.exit_code, 0) << sim.output;
+  EXPECT_NE(sim.output.find("metro us_sparse"), std::string::npos);
+  std::filesystem::remove(trace);
+}
+
+TEST(CliSmoke, SimulateRejectsTraceFromUnknownMetro) {
+  // A trace stamped with a metro this build does not know must be a hard
+  // error (analyzing against the wrong tree would be silently wrong) —
+  // unless an explicit --metro overrides it.
+  const std::string trace = temp_trace_path() + ".unknownmetro";
+  {
+    std::ofstream out(trace);
+    out << "#span=86400\n#metro=atlantis\n"
+        << "user,household,content,isp,exp,bitrate,start,duration\n"
+        << "1,1,0,0,0,sd,100,10\n"
+        << "2,1,0,0,0,sd,150,10\n";
+  }
+  const RunResult sim = run_cli("simulate --trace " + trace);
+  EXPECT_EQ(sim.exit_code, 1);
+  EXPECT_NE(sim.output.find("atlantis"), std::string::npos);
+  const RunResult forced =
+      run_cli("simulate --trace " + trace + " --metro london_top5");
+  EXPECT_EQ(forced.exit_code, 0) << forced.output;
+  EXPECT_NE(forced.output.find("warning"), std::string::npos);
+  std::filesystem::remove(trace);
+}
+
+TEST(CliSmoke, GenerateMetroThreadsBitIdentical) {
+  // CLI-level determinism: --metro us_sparse traces are byte-identical
+  // across --threads (the 1/2/7/hw sweep is pinned at the library level
+  // in test_trace_binary.cpp).
+  const std::string one = temp_trace_path() + ".us1.cltrace";
+  const std::string two = temp_trace_path() + ".us2.cltrace";
+  const RunResult gen1 =
+      run_cli("generate --out " + one +
+              " --preset small --days 1 --metro us_sparse --threads 1 --quiet");
+  const RunResult gen2 =
+      run_cli("generate --out " + two +
+              " --preset small --days 1 --metro us_sparse --threads 2 --quiet");
+  ASSERT_EQ(gen1.exit_code, 0) << gen1.output;
+  ASSERT_EQ(gen2.exit_code, 0) << gen2.output;
+  std::ifstream a(one, std::ios::binary), b(two, std::ios::binary);
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+  std::filesystem::remove(one);
+  std::filesystem::remove(two);
+}
+
+TEST(CliSmoke, ConvertPreservesMetroThroughBinary) {
+  const std::string csv = temp_trace_path() + ".metro.csv";
+  const std::string bin = temp_trace_path() + ".metro.cltrace";
+  const std::string csv2 = temp_trace_path() + ".metro2.csv";
+  const RunResult gen =
+      run_cli("generate --out " + csv +
+              " --preset small --days 1 --metro fiber_dense --quiet");
+  ASSERT_EQ(gen.exit_code, 0) << gen.output;
+  ASSERT_EQ(run_cli("convert --in " + csv + " --out " + bin).exit_code, 0);
+  ASSERT_EQ(run_cli("convert --in " + bin + " --out " + csv2).exit_code, 0);
+  std::ifstream a(csv, std::ios::binary), b(csv2, std::ios::binary);
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());  // #metro= line survives the round trip
+  std::filesystem::remove(csv);
+  std::filesystem::remove(bin);
+  std::filesystem::remove(csv2);
+}
+
+TEST(CliSmoke, PlanReportsMetro) {
+  const RunResult result = run_cli("plan --target 0.2 --metro us_sparse");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("metro us_sparse"), std::string::npos);
+}
+
 }  // namespace

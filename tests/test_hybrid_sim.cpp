@@ -40,7 +40,7 @@ Trace make_trace(std::vector<SessionRecord> sessions, double span_s) {
             [](const SessionRecord& a, const SessionRecord& b) {
               return a.start < b.start;
             });
-  return Trace{std::move(sessions), Seconds{span_s}, {}};
+  return Trace{std::move(sessions), Seconds{span_s}, {}, {}};
 }
 
 /// Poisson single-swarm trace with constant arrival rate (no diurnal

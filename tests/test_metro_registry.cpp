@@ -1,0 +1,214 @@
+// Tests for topology/metro_registry.h — the named metro presets — plus
+// the localisation regression battery: Table III probabilities for
+// london_top5 pinned to the paper's values (they must never move), and
+// the analogous closed-form pins for the us_sparse / fiber_dense trees
+// so any future tree edit is caught, not absorbed.
+#include "topology/metro_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "model/savings.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace cl {
+namespace {
+
+// ---------------------------------------------------------------- registry
+
+TEST(MetroRegistry, ContainsAllPresetsInOrder) {
+  const auto names = MetroRegistry::instance().names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "london_top5");
+  EXPECT_EQ(names[1], "us_sparse");
+  EXPECT_EQ(names[2], "fiber_dense");
+  for (const auto& name : names) {
+    EXPECT_TRUE(MetroRegistry::instance().contains(name));
+  }
+  EXPECT_FALSE(MetroRegistry::instance().contains("narnia"));
+  EXPECT_FALSE(MetroRegistry::instance().contains(""));
+}
+
+TEST(MetroRegistry, DefaultNameIsLondon) {
+  EXPECT_EQ(std::string(kDefaultMetroName), "london_top5");
+  EXPECT_TRUE(MetroRegistry::instance().contains(kDefaultMetroName));
+}
+
+TEST(MetroRegistry, GetReturnsMetroStampedWithItsName) {
+  for (const auto& name : MetroRegistry::instance().names()) {
+    EXPECT_EQ(MetroRegistry::instance().get(name).name(), name);
+  }
+}
+
+TEST(MetroRegistry, GetReturnsStableReferences) {
+  const Metro& a = MetroRegistry::instance().get("us_sparse");
+  const Metro& b = MetroRegistry::instance().get("us_sparse");
+  EXPECT_EQ(&a, &b);  // long-lived singletons, safe to keep in an Analyzer
+}
+
+TEST(MetroRegistry, UnknownNameThrowsListingValidNames) {
+  try {
+    (void)MetroRegistry::instance().get("narnia");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("narnia"), std::string::npos);
+    EXPECT_NE(what.find("london_top5"), std::string::npos);
+    EXPECT_NE(what.find("us_sparse"), std::string::npos);
+    EXPECT_NE(what.find("fiber_dense"), std::string::npos);
+  }
+}
+
+TEST(MetroRegistry, PresetDescriptionsAreNonEmpty) {
+  for (const auto& preset : MetroRegistry::instance().presets()) {
+    EXPECT_FALSE(preset.description.empty()) << preset.name;
+  }
+}
+
+TEST(MetroRegistry, NamesJoinedListsEveryPreset) {
+  const std::string joined = MetroRegistry::instance().names_joined();
+  EXPECT_EQ(joined, "london_top5, us_sparse, fiber_dense");
+}
+
+// -------------------------------------------- localisation regression pins
+
+// Table III (london_top5 ISP-1) — the paper's published numbers. These
+// must not move: every savings result in the repo depends on them.
+TEST(LocalisationRegression, LondonTableIIIPinned) {
+  const auto& isp1 = MetroRegistry::instance().get("london_top5").isp(0);
+  ASSERT_EQ(isp1.exchange_points(), 345u);
+  ASSERT_EQ(isp1.pops(), 9u);
+  ASSERT_EQ(isp1.cores(), 1u);
+  const auto loc = isp1.localisation();
+  EXPECT_DOUBLE_EQ(loc.exp, 1.0 / 345.0);  // 0.29 % in Table III
+  EXPECT_DOUBLE_EQ(loc.pop, 1.0 / 9.0);    // 11.11 % in Table III
+  EXPECT_DOUBLE_EQ(loc.core, 1.0);
+}
+
+// The share-scaled London tail trees, pinned exactly: a change in the
+// scaling rule or the market shares must fail here, not drift silently.
+TEST(LocalisationRegression, LondonScaledTreesPinned) {
+  const Metro& metro = MetroRegistry::instance().get("london_top5");
+  ASSERT_EQ(metro.isp_count(), 5u);
+  const std::uint32_t expected_exps[] = {345, 248, 216, 151, 119};
+  const std::uint32_t expected_pops[] = {9, 6, 6, 4, 3};
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(metro.isp(i).exchange_points(), expected_exps[i]) << "ISP " << i;
+    EXPECT_EQ(metro.isp(i).pops(), expected_pops[i]) << "ISP " << i;
+  }
+}
+
+// us_sparse closed-form pins: 40 ExPs / 12 PoPs / 1 core for ISP-1, and
+// the share-scaled tail. Note the directions relative to London: per-ExP
+// localisation is *higher* (1/40 > 1/345) while sub-core localisation is
+// *lower* (1/12 < 1/9).
+TEST(LocalisationRegression, UsSparsePinned) {
+  const Metro& metro = MetroRegistry::instance().get("us_sparse");
+  ASSERT_EQ(metro.isp_count(), 4u);
+  const auto loc = metro.isp(0).localisation();
+  EXPECT_EQ(metro.isp(0).exchange_points(), 40u);
+  EXPECT_EQ(metro.isp(0).pops(), 12u);
+  EXPECT_DOUBLE_EQ(loc.exp, 1.0 / 40.0);
+  EXPECT_DOUBLE_EQ(loc.pop, 1.0 / 12.0);
+  const std::uint32_t expected_exps[] = {40, 32, 26, 20};
+  const std::uint32_t expected_pops[] = {12, 10, 8, 6};
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(metro.isp(i).exchange_points(), expected_exps[i]) << "ISP " << i;
+    EXPECT_EQ(metro.isp(i).pops(), expected_pops[i]) << "ISP " << i;
+  }
+}
+
+// fiber_dense closed-form pins: 900 ExPs / 15 PoPs / 1 core for ISP-1.
+TEST(LocalisationRegression, FiberDensePinned) {
+  const Metro& metro = MetroRegistry::instance().get("fiber_dense");
+  ASSERT_EQ(metro.isp_count(), 3u);
+  const auto loc = metro.isp(0).localisation();
+  EXPECT_EQ(metro.isp(0).exchange_points(), 900u);
+  EXPECT_EQ(metro.isp(0).pops(), 15u);
+  EXPECT_DOUBLE_EQ(loc.exp, 1.0 / 900.0);
+  EXPECT_DOUBLE_EQ(loc.pop, 1.0 / 15.0);
+  const std::uint32_t expected_exps[] = {900, 660, 440};
+  const std::uint32_t expected_pops[] = {15, 11, 7};
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(metro.isp(i).exchange_points(), expected_exps[i]) << "ISP " << i;
+    EXPECT_EQ(metro.isp(i).pops(), expected_pops[i]) << "ISP " << i;
+  }
+}
+
+// Cross-metro orderings the DESIGN.md "Metro topologies" section claims —
+// pinned so the presets keep spanning the fan-out axis they were chosen
+// to span.
+TEST(LocalisationRegression, FanOutOrderingAcrossPresets) {
+  const auto& registry = MetroRegistry::instance();
+  const auto london = registry.get("london_top5").isp(0).localisation();
+  const auto sparse = registry.get("us_sparse").isp(0).localisation();
+  const auto fiber = registry.get("fiber_dense").isp(0).localisation();
+  // Per-ExP localisation: sparse (few, large ExPs) > london > fiber.
+  EXPECT_GT(sparse.exp, london.exp);
+  EXPECT_GT(london.exp, fiber.exp);
+  // Sub-core localisation (1/n_pop): london > sparse > fiber.
+  EXPECT_GT(london.pop, sparse.pop);
+  EXPECT_GT(sparse.pop, fiber.pop);
+}
+
+// The closed form at a mid-size capacity orders the metros by how fast
+// their trees localise peer traffic: the per-bit peer cost is lowest in
+// the sparse-ExP tree and highest in the dense fiber tree.
+TEST(LocalisationRegression, MeanPeerGammaOrderedByExpLocalisation) {
+  for (const auto& params : standard_params()) {
+    const auto gamma_of = [&](const char* name) {
+      const SavingsModel model(params,
+                               MetroRegistry::instance().get(name).isp(0));
+      return model.mean_peer_gamma(50.0).value();
+    };
+    const double sparse = gamma_of("us_sparse");
+    const double london = gamma_of("london_top5");
+    const double fiber = gamma_of("fiber_dense");
+    EXPECT_LT(sparse, london) << params.name;
+    EXPECT_LT(london, fiber) << params.name;
+  }
+}
+
+// ------------------------------------------------- preset property sweeps
+
+TEST(MetroPresets, SharesNormaliseToOne) {
+  for (const auto& name : MetroRegistry::instance().names()) {
+    const Metro& metro = MetroRegistry::instance().get(name);
+    double total = 0;
+    for (std::size_t i = 0; i < metro.isp_count(); ++i) {
+      EXPECT_GT(metro.share(i), 0.0) << name;
+      total += metro.share(i);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12) << name;
+  }
+}
+
+TEST(MetroPresets, SharesDescendFromIsp1) {
+  for (const auto& name : MetroRegistry::instance().names()) {
+    const Metro& metro = MetroRegistry::instance().get(name);
+    for (std::size_t i = 1; i < metro.isp_count(); ++i) {
+      EXPECT_LE(metro.share(i), metro.share(i - 1)) << name << " ISP " << i;
+    }
+  }
+}
+
+TEST(MetroPresets, EveryIspTreeIsWellFormed) {
+  for (const auto& name : MetroRegistry::instance().names()) {
+    const Metro& metro = MetroRegistry::instance().get(name);
+    for (std::size_t i = 0; i < metro.isp_count(); ++i) {
+      const auto& topo = metro.isp(i);
+      EXPECT_GE(topo.pops(), 1u) << name;
+      EXPECT_GE(topo.exchange_points(), topo.pops()) << name;
+      EXPECT_EQ(topo.cores(), 1u) << name;
+      for (std::uint32_t e = 0; e < topo.exchange_points(); ++e) {
+        ASSERT_LT(topo.pop_of(e), topo.pops()) << name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cl

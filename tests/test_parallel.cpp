@@ -280,7 +280,7 @@ TEST(ShardedSimulator, SwarmsStayKeySortedAtEveryThreadCount) {
 }
 
 TEST(ShardedSimulator, EmptyTraceIdenticalAcrossThreadCounts) {
-  const Trace empty{{}, Seconds{86400.0}, {}};
+  const Trace empty{{}, Seconds{86400.0}, {}, {}};
   const SimResult reference = run_sim(empty, 1);
   EXPECT_EQ(reference.total.total().value(), 0.0);
   EXPECT_TRUE(reference.swarms.empty());
@@ -304,7 +304,7 @@ TEST(ShardedSimulator, SingleSwarmIdenticalAcrossThreadCounts) {
     s.duration = 900.0;
     sessions.push_back(s);
   }
-  const Trace trace{std::move(sessions), Seconds{86400.0}, {}};
+  const Trace trace{std::move(sessions), Seconds{86400.0}, {}, {}};
   const SimResult reference = run_sim(trace, 1);
   ASSERT_EQ(reference.swarms.size(), 1u);
   expect_sim_result_identical(run_sim(trace, 4), reference);
@@ -327,7 +327,7 @@ TEST(ShardedSimulator, AllSubWindowSessionsIdenticalAcrossThreadCounts) {
     s.duration = 4.0;  // < the 10 s default window
     sessions.push_back(s);
   }
-  const Trace trace{std::move(sessions), Seconds{86400.0}, {}};
+  const Trace trace{std::move(sessions), Seconds{86400.0}, {}, {}};
   const SimResult reference = run_sim(trace, 1);
   EXPECT_EQ(reference.total.total().value(), 0.0);
   EXPECT_FALSE(reference.swarms.empty());
@@ -405,7 +405,7 @@ TEST(ShardedSimulator, OversizedSwarmGuardIsInPlace) {
   // its data pointer must still be non-null to satisfy the span
   // valid-range precondition under hardened standard libraries.
   SwarmSweep sweep(metro(), SimConfig{});
-  const Trace trace{{}, Seconds{86400.0}, {}};
+  const Trace trace{{}, Seconds{86400.0}, {}, {}};
   SimResult out;
   static const std::uint32_t dummy = 0;
   const std::span<const std::uint32_t> oversized{

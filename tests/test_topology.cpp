@@ -1,11 +1,14 @@
-// Tests for the ISP topology substrate (paper Fig. 1, Table III).
+// Tests for the ISP topology substrate (paper Fig. 1, Table III) and the
+// Metro/UniformPlacer property battery over every registry preset.
 #include "topology/isp_topology.h"
 #include "topology/placement.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <vector>
 
+#include "topology/metro_registry.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -150,6 +153,94 @@ TEST(Metro, RejectsMismatchedShapes) {
   std::vector<IspTopology> topos;
   topos.push_back(IspTopology::london_default());
   EXPECT_THROW(Metro(std::move(topos), {0.5, 0.5}), InvalidArgument);
+}
+
+TEST(Metro, RejectsEmptyMetro) {
+  // CL_EXPECTS contract: a metro needs at least one ISP tree.
+  EXPECT_THROW(Metro({}, {}), InvalidArgument);
+}
+
+TEST(Metro, RejectsZeroShareMetro) {
+  // All-zero market shares cannot be normalised into a distribution.
+  std::vector<IspTopology> topos;
+  topos.push_back(IspTopology::london_default());
+  topos.push_back(IspTopology::scaled("x", 0.5));
+  EXPECT_THROW(Metro(std::move(topos), {0.0, 0.0}), InvalidArgument);
+}
+
+TEST(Metro, CustomMetroHasEmptyName) {
+  std::vector<IspTopology> topos;
+  topos.push_back(IspTopology::london_default());
+  const Metro metro(std::move(topos), {1.0});
+  EXPECT_TRUE(metro.name().empty());
+}
+
+TEST(Metro, PresetFactoriesCarryRegistryNames) {
+  EXPECT_EQ(Metro::london_top5().name(), "london_top5");
+  EXPECT_EQ(Metro::us_sparse().name(), "us_sparse");
+  EXPECT_EQ(Metro::fiber_dense().name(), "fiber_dense");
+}
+
+// ------------------------------------ property sweeps over every preset
+
+TEST(MetroPresetProperties, SampleIspFrequenciesMatchShares) {
+  // Empirical ISP frequencies at a fixed seed stay within 1 % of each
+  // preset's normalised market shares.
+  for (const auto& name : MetroRegistry::instance().names()) {
+    const Metro& metro = MetroRegistry::instance().get(name);
+    Rng rng(20130901);
+    std::vector<int> counts(metro.isp_count(), 0);
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) ++counts[metro.sample_isp(rng)];
+    for (std::size_t i = 0; i < metro.isp_count(); ++i) {
+      EXPECT_NEAR(static_cast<double>(counts[i]) / n, metro.share(i), 0.01)
+          << name << " ISP " << i;
+    }
+  }
+}
+
+TEST(MetroPresetProperties, SameExpProbabilityIsOneOverNExp) {
+  for (const auto& name : MetroRegistry::instance().names()) {
+    const Metro& metro = MetroRegistry::instance().get(name);
+    for (std::size_t i = 0; i < metro.isp_count(); ++i) {
+      const UniformPlacer placer(metro.isp(i));
+      EXPECT_DOUBLE_EQ(
+          placer.same_exp_probability(),
+          1.0 / static_cast<double>(metro.isp(i).exchange_points()))
+          << name << " ISP " << i;
+      EXPECT_DOUBLE_EQ(placer.same_pop_probability(),
+                       1.0 / static_cast<double>(metro.isp(i).pops()))
+          << name << " ISP " << i;
+    }
+  }
+}
+
+TEST(MetroPresetProperties, PlaceUserStaysInsideEveryPresetTree) {
+  for (const auto& name : MetroRegistry::instance().names()) {
+    const Metro& metro = MetroRegistry::instance().get(name);
+    Rng rng(17);
+    for (std::uint32_t isp = 0; isp < metro.isp_count(); ++isp) {
+      for (int i = 0; i < 200; ++i) {
+        const auto p = metro.place_user(isp, rng);
+        ASSERT_EQ(p.isp, isp) << name;
+        ASSERT_LT(p.exp, metro.isp(isp).exchange_points()) << name;
+      }
+    }
+  }
+}
+
+TEST(MetroPresetProperties, PlacementCoversEveryExchangePoint) {
+  // Uniform placement must reach every ExP of the sparse tree (40 ExPs is
+  // small enough to demand full coverage at a modest sample size).
+  const Metro& metro = MetroRegistry::instance().get("us_sparse");
+  Rng rng(23);
+  std::vector<int> counts(metro.isp(0).exchange_points(), 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[metro.place_user(0, rng).exp];
+  }
+  for (std::size_t e = 0; e < counts.size(); ++e) {
+    EXPECT_GT(counts[e], 0) << "ExP " << e << " never drawn";
+  }
 }
 
 TEST(Metro, RejectsOutOfRangeAccess) {

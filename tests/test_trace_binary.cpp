@@ -28,6 +28,7 @@
 
 #include "core/analyzer.h"
 #include "sim/swarm_key.h"
+#include "topology/metro_registry.h"
 #include "trace/swarm_index.h"
 #include "trace/trace_format.h"
 #include "trace/trace_io.h"
@@ -51,10 +52,12 @@ const Metro& metro() {
   return m;
 }
 
-/// Exact, field-by-field session equality (bit-exact doubles).
+/// Exact, field-by-field session equality (bit-exact doubles), plus the
+/// header fields (span, metro name) that ride along.
 void expect_sessions_identical(const Trace& a, const Trace& b) {
   ASSERT_EQ(a.size(), b.size());
   EXPECT_EQ(a.span.value(), b.span.value());
+  EXPECT_EQ(a.metro_name, b.metro_name);
   for (std::size_t i = 0; i < a.size(); ++i) {
     const SessionRecord& x = a.sessions[i];
     const SessionRecord& y = b.sessions[i];
@@ -126,9 +129,10 @@ Trace tiny_trace() {
   return t;
 }
 
-/// The committed golden fixture's content — regenerate tests/data/
-/// golden_v1.cltrace from exactly this trace (see the failure message in
-/// GoldenFileBytesMatchWriter).
+/// The committed golden fixtures' session content. The legacy
+/// tests/data/golden_v1.cltrace was written from exactly this trace by
+/// the version-1 writer (no metro field); golden_v2.cltrace adds the
+/// metro name — see golden_trace_v2().
 Trace golden_trace() {
   Trace t;
   t.span = Seconds{86400.0};
@@ -157,8 +161,21 @@ Trace golden_trace() {
   return t;
 }
 
-std::string golden_path() {
+/// The current-version golden fixture's content — regenerate tests/data/
+/// golden_v2.cltrace from exactly this trace (see the failure message in
+/// GoldenFileBytesMatchWriter).
+Trace golden_trace_v2() {
+  Trace t = golden_trace();
+  t.metro_name = "london_top5";
+  return t;
+}
+
+std::string golden_v1_path() {
   return std::string(CL_TEST_DATA_DIR) + "/golden_v1.cltrace";
+}
+
+std::string golden_path() {
+  return std::string(CL_TEST_DATA_DIR) + "/golden_v2.cltrace";
 }
 
 /// FNV-1a 64-bit digest — enough to pin accidental byte changes.
@@ -289,6 +306,81 @@ TEST(TraceBinaryRoundTrip, CsvBinaryCsvByteIdentical) {
   EXPECT_EQ(csv1.str(), csv2.str());
 }
 
+// -------------------------------------------------- metro header field
+
+TEST(TraceBinaryMetro, RoundTripsPopulatedMetroName) {
+  Trace t = tiny_trace();
+  t.metro_name = "us_sparse";
+  const Trace loaded = binary_round_trip(t);
+  EXPECT_EQ(loaded.metro_name, "us_sparse");
+  expect_sessions_identical(loaded, t);
+}
+
+TEST(TraceBinaryMetro, RoundTripsAbsentMetroName) {
+  const Trace t = tiny_trace();  // metro_name empty
+  const Trace loaded = binary_round_trip(t);
+  EXPECT_TRUE(loaded.metro_name.empty());
+  expect_sessions_identical(loaded, t);
+}
+
+TEST(TraceBinaryMetro, CsvBinaryCsvByteIdenticalWithMetro) {
+  // The satellite contract: the CSV <-> binary round trip stays byte
+  // exact with the metro field populated...
+  Trace original = tiny_trace();
+  original.metro_name = "fiber_dense";
+  std::ostringstream csv1;
+  write_trace(csv1, original);
+  EXPECT_NE(csv1.str().find("#metro=fiber_dense\n"), std::string::npos);
+  std::istringstream in1(csv1.str());
+  const Trace through_binary = binary_round_trip(read_trace(in1));
+  std::ostringstream csv2;
+  write_trace(csv2, through_binary);
+  EXPECT_EQ(csv1.str(), csv2.str());
+}
+
+TEST(TraceBinaryMetro, CsvBinaryCsvByteIdenticalWithoutMetro) {
+  // ...and when it is absent (no #metro= line materialises from nowhere).
+  const Trace original = tiny_trace();
+  std::ostringstream csv1;
+  write_trace(csv1, original);
+  EXPECT_EQ(csv1.str().find("#metro="), std::string::npos);
+  std::istringstream in1(csv1.str());
+  const Trace through_binary = binary_round_trip(read_trace(in1));
+  std::ostringstream csv2;
+  write_trace(csv2, through_binary);
+  EXPECT_EQ(csv1.str(), csv2.str());
+}
+
+TEST(TraceBinaryMetro, MaximumLengthNameRoundTrips) {
+  Trace t = tiny_trace();
+  t.metro_name = std::string(kTraceMetroNameMaxBytes, 'm');
+  const Trace loaded = binary_round_trip(t);
+  EXPECT_EQ(loaded.metro_name, t.metro_name);
+}
+
+TEST(TraceBinaryMetro, WriterRejectsOversizedName) {
+  Trace t = tiny_trace();
+  t.metro_name = std::string(kTraceMetroNameMaxBytes + 1, 'm');
+  EXPECT_THROW((void)serialize_trace_binary(t), InvalidArgument);
+}
+
+TEST(TraceBinaryMetro, WriterRejectsControlCharacters) {
+  Trace t = tiny_trace();
+  t.metro_name = "bad\nname";
+  EXPECT_THROW((void)serialize_trace_binary(t), InvalidArgument);
+  std::ostringstream csv;
+  EXPECT_THROW(write_trace(csv, t), InvalidArgument);
+}
+
+TEST(TraceBinaryMetro, EmptyTraceCarriesMetroName) {
+  Trace empty;
+  empty.span = Seconds{3600.0};
+  empty.metro_name = "london_top5";
+  const Trace loaded = binary_round_trip(empty);
+  EXPECT_TRUE(loaded.empty());
+  EXPECT_EQ(loaded.metro_name, "london_top5");
+}
+
 TEST(TraceBinaryWriter, SerializationIsDeterministic) {
   const Trace t = tiny_trace();
   EXPECT_EQ(serialize_trace_binary(t), serialize_trace_binary(t));
@@ -393,31 +485,61 @@ TEST(SwarmIndexTest, ValidateRejectsTampering) {
   }
 }
 
-// ------------------------------------------------------------- golden file
+// ------------------------------------------------------------ golden files
 
 TEST(TraceBinaryGolden, FileBytesMatchWriter) {
   const std::string committed = read_bytes(golden_path());
   ASSERT_FALSE(committed.empty()) << "missing fixture " << golden_path();
-  EXPECT_EQ(serialize_trace_binary(golden_trace()), committed)
+  EXPECT_EQ(serialize_trace_binary(golden_trace_v2()), committed)
       << "the .cltrace byte layout changed. If this is intentional, bump "
-         "kTraceBinaryVersion in trace/trace_binary.h, regenerate "
-         "tests/data/golden_v1.cltrace from golden_trace(), and update "
+         "kTraceBinaryVersion in trace/trace_binary.h, add a new golden "
+         "fixture under tests/data/ from golden_trace_v2(), and update "
          "the pinned digest in TraceBinaryGolden.DigestPinned.";
 }
 
 TEST(TraceBinaryGolden, DigestPinned) {
   const std::string committed = read_bytes(golden_path());
   ASSERT_FALSE(committed.empty()) << "missing fixture " << golden_path();
-  EXPECT_EQ(fnv1a(committed), 0x52915e1e58ee37d1ULL)
-      << "tests/data/golden_v1.cltrace changed on disk. An intentional "
+  EXPECT_EQ(fnv1a(committed), 0xb089aa1521edceffULL)
+      << "tests/data/golden_v2.cltrace changed on disk. An intentional "
          "format change must bump kTraceBinaryVersion (see "
          "trace/trace_binary.h's version policy).";
 }
 
 TEST(TraceBinaryGolden, FixtureLoads) {
   const Trace loaded = read_trace_binary_file(golden_path());
-  expect_sessions_identical(loaded, golden_trace());
+  expect_sessions_identical(loaded, golden_trace_v2());
+  EXPECT_EQ(loaded.metro_name, "london_top5");
   ASSERT_EQ(loaded.swarm_index.groups.size(), 5u);
+}
+
+// Legacy version-1 files must keep loading forever: month-scale traces
+// are generated once and replayed across many builds. The v1 fixture's
+// bytes are pinned too — it is the proof that v1 decoding still works,
+// so it must never be regenerated by a newer writer.
+TEST(TraceBinaryGolden, LegacyV1DigestPinned) {
+  const std::string committed = read_bytes(golden_v1_path());
+  ASSERT_FALSE(committed.empty()) << "missing fixture " << golden_v1_path();
+  EXPECT_EQ(fnv1a(committed), 0x52915e1e58ee37d1ULL)
+      << "tests/data/golden_v1.cltrace changed on disk. The v1 fixture is "
+         "frozen — it pins the *legacy* layout readers must keep "
+         "accepting.";
+}
+
+TEST(TraceBinaryGolden, LegacyV1FixtureLoadsWithEmptyMetro) {
+  const Trace loaded = read_trace_binary_file(golden_v1_path());
+  expect_sessions_identical(loaded, golden_trace());
+  EXPECT_TRUE(loaded.metro_name.empty());
+  ASSERT_EQ(loaded.swarm_index.groups.size(), 5u);
+}
+
+TEST(TraceBinaryGolden, LegacyV1ReportsItsVersion) {
+  const MappedTrace mapped(golden_v1_path());
+  EXPECT_EQ(mapped.version(), kTraceBinaryLegacyVersion);
+  EXPECT_TRUE(mapped.metro_name().empty());
+  const MappedTrace current(golden_path());
+  EXPECT_EQ(current.version(), kTraceBinaryVersion);
+  EXPECT_EQ(current.metro_name(), "london_top5");
 }
 
 // ------------------------------------------------------- corrupt rejection
@@ -520,7 +642,81 @@ TEST(TraceBinaryCorrupt, RejectsSpanSmallerThanSessions) {
   std::filesystem::remove(path);
 }
 
+TEST(TraceBinaryCorrupt, RejectsControlCharacterInMetroBlock) {
+  Trace t = tiny_trace();
+  t.metro_name = "ok";
+  std::string bytes = serialize_trace_binary(t);
+  auto* p = reinterpret_cast<unsigned char*>(bytes.data());
+  // Directory entries are written in block-id order: entry 13 (metro
+  // name) sits at 40 + 13*24; its payload offset is 8 bytes in.
+  const std::uint64_t offset = load_u64_le(p + 40 + 13 * 24 + 8);
+  p[offset] = '\n';
+  const std::string path = write_bytes("cl_corrupt_metro.cltrace", bytes);
+  EXPECT_THROW(
+      try { (void)read_trace_binary_file(path); } catch (const ParseError& e) {
+        EXPECT_NE(std::string(e.what()).find("metro"), std::string::npos);
+        throw;
+      },
+      ParseError);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceBinaryCorrupt, RejectsOversizedMetroDirectoryCount) {
+  std::string bytes = serialize_trace_binary(tiny_trace());
+  auto* p = reinterpret_cast<unsigned char*>(bytes.data());
+  // Claim a metro-name block longer than the cap; whichever check fires
+  // first (length cap or bounds), the file must be rejected outright.
+  store_u64_le(p + 40 + 13 * 24 + 16, kTraceMetroNameMaxBytes + 1);
+  const std::string path = write_bytes("cl_corrupt_metrolen.cltrace", bytes);
+  EXPECT_THROW(read_trace_binary_file(path), ParseError);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceBinaryCorrupt, RejectsLegacyVersionWithCurrentBlockCount) {
+  // A v2 file relabeled as v1 lies about its shape: v1 has 13 blocks.
+  std::string bytes = serialize_trace_binary(tiny_trace());
+  store_u32_le(reinterpret_cast<unsigned char*>(bytes.data()) + 8,
+               kTraceBinaryLegacyVersion);
+  const std::string path = write_bytes("cl_corrupt_relabel.cltrace", bytes);
+  EXPECT_THROW(read_trace_binary_file(path), ParseError);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceBinaryCorrupt, RejectsVersionZero) {
+  std::string bytes = serialize_trace_binary(tiny_trace());
+  store_u32_le(reinterpret_cast<unsigned char*>(bytes.data()) + 8, 0);
+  const std::string path = write_bytes("cl_corrupt_v0.cltrace", bytes);
+  EXPECT_THROW(read_trace_binary_file(path), ParseError);
+  std::filesystem::remove(path);
+}
+
 // ------------------------------------------------------------- determinism
+
+TEST(TraceBinaryDeterminism, MetroGenerationBitIdenticalAcrossThreadCounts) {
+  // The satellite contract: generating against the us_sparse metro at
+  // --threads 1/2/7/hw produces bit-identical traces — pinned on the
+  // serialized bytes, which cover every session field, the swarm index
+  // and the metro header.
+  const Metro& us = MetroRegistry::instance().get("us_sparse");
+  TraceConfig config;
+  config.metro = "us_sparse";
+  config.days = 2;
+  config.users = 800;
+  config.exemplar_views = {5000, 600};
+  config.catalogue_tail = 80;
+  config.tail_views = 4000;
+  config.threads = 1;
+  const std::string reference =
+      serialize_trace_binary(TraceGenerator(config, us).generate());
+  EXPECT_NE(reference.find("us_sparse"), std::string::npos);
+  for (const unsigned threads : {2u, 7u, 0u}) {  // 0 = all hardware threads
+    TraceConfig threaded = config;
+    threaded.threads = threads;
+    EXPECT_EQ(serialize_trace_binary(TraceGenerator(threaded, us).generate()),
+              reference)
+        << "threads=" << threads;
+  }
+}
 
 TEST(TraceBinaryDeterminism, MmapLoadBitIdenticalAcrossThreadCounts) {
   TraceConfig config;

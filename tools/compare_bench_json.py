@@ -11,7 +11,14 @@ build: they do no trace generation or simulation, so their wall time is a
 stable proxy for the hot-path code itself rather than for workload-scale
 knobs, and they are cheap enough to run on every CI commit.
 
-Exit codes: 0 ok (including "no baseline yet"), 1 regression, 2 usage.
+`--require` names benches that must be present in the current run with
+parseable metrics — it guards *coverage* rather than wall time, so a
+bench silently dropping out of the CI harness (e.g. fig_cross_metro, the
+cross-metro experiment) fails the run even though its workload-scale wall
+time is never gated.
+
+Exit codes: 0 ok (including "no baseline yet"), 1 regression or missing
+required bench, 2 usage.
 """
 
 import argparse
@@ -49,6 +56,11 @@ def main() -> int:
                         help="comma-separated bench names whose regression "
                              "fails the run (default: the closed-form "
                              "benches)")
+    parser.add_argument("--require", default="",
+                        help="comma-separated bench names that must be "
+                             "present in the current run (coverage gate; "
+                             "their wall time is not compared unless they "
+                             "are also in --benches)")
     parser.add_argument("--max-regression", type=float, default=0.25,
                         help="allowed fractional wall-time increase for "
                              "guarded benches (default 0.25 = +25%%)")
@@ -70,6 +82,18 @@ def main() -> int:
     if not current:
         print(f"error: no BENCH_*.json found under {args.current}")
         return 2
+
+    required = {b.strip() for b in args.require.split(",") if b.strip()}
+    missing = sorted(required - set(current))
+    if missing:
+        print(f"FAIL: required benches missing from {args.current}: "
+              f"{', '.join(missing)}")
+        return 1
+    for name in sorted(required):
+        metrics = current[name].get("metrics")
+        if not isinstance(metrics, dict) or not metrics:
+            print(f"FAIL: required bench {name} has no metrics object")
+            return 1
 
     if not args.baseline.is_dir():
         print(f"no baseline at {args.baseline} — first run, nothing to "
