@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   // Reference: plain hybrid CDN without caches.
   SimConfig sim_config;
   sim_config.threads = run.threads();
-  sim_config.collect_per_day = false;
+  sim_config.collect_hourly = false;
   sim_config.collect_per_user = false;
   sim_config.collect_swarms = false;
   const auto plain = HybridSimulator(bench::metro(), sim_config).run(trace);

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
     SimConfig sim_config;
     sim_config.isp_friendly = isp_friendly;
     sim_config.threads = run.threads();
-    sim_config.collect_per_day = false;
+    sim_config.collect_hourly = false;
     sim_config.collect_per_user = false;
     sim_config.collect_swarms = false;
     const auto result =

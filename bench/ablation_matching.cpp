@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
       sim_config.threads = run.threads();
       sim_config.matcher =
           m == 0 ? MatcherKind::kExistence : MatcherKind::kCapacity;
-      sim_config.collect_per_day = false;
+      sim_config.collect_hourly = false;
       sim_config.collect_per_user = false;
       sim_config.collect_swarms = false;
       const auto result =

@@ -1,0 +1,117 @@
+// fig_carbon_diurnal — the carbon-intensity experiment: replay the
+// scaled month through every metro preset, then weight the *same*
+// simulated hourly energy flows by every grid carbon-intensity preset
+// (src/carbon/) and compare the resulting gCO₂ savings bands.
+//
+// The paper's ledger counts joules; this bench closes the loop to grams:
+// a joule saved at solar noon (CAISO duck-curve trough) displaces far
+// less carbon than one saved at the gas-fired evening peak — and the
+// workload's evening-peaked diurnal demand lands most of its traffic
+// exactly where the UK/CAISO curves are most carbon-intense. The
+// simulation runs once per metro; every intensity × energy-model cell is
+// pure post-processing of the hourly grid, so the sweep costs one
+// cross-metro replay regardless of how many curves are registered.
+//
+// Reading the bands: under `flat` the carbon savings equal the energy
+// savings exactly (the backward-compatibility contract pinned in
+// tests/test_carbon_intensity.cpp); diurnal curves shift both the
+// absolute grams and the savings fraction, and the per-day band
+// (mean/min/max of the daily gCO₂ savings) shows how stable that shift
+// is across the month.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_json.h"
+#include "carbon/carbon_accountant.h"
+#include "carbon/intensity_curve.h"
+#include "sim/hybrid_sim.h"
+#include "topology/metro_registry.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace cl;
+  double days = 30;
+  bench::Runner run("fig_carbon_diurnal", argc, argv, [&](const Args& args) {
+    days = args.get_double("days", days);
+  });
+  bench::banner(
+      "carbon-intensity experiment — gCO2 savings bands per metro x grid",
+      "same hourly energy flows weighted by every 24-h gCO2/kWh preset; "
+      "flat reproduces the energy savings, diurnal grids shift them");
+
+  const MetroRegistry& metros = MetroRegistry::instance();
+  const IntensityRegistry& intensities = IntensityRegistry::instance();
+  double total_sessions = 0;
+
+  TextTable bands({"metro", "intensity", "model", "baseline kgCO2",
+                   "saved kgCO2", "carbon S", "energy S", "daily min",
+                   "daily max"});
+
+  for (const auto& metro_preset : metros.presets()) {
+    const Metro& metro = metros.get(metro_preset.name);
+
+    TraceConfig config = TraceConfig::london_month_scaled(days);
+    config.metro = metro_preset.name;
+    config.threads = run.threads();
+    const Trace trace = TraceGenerator(config, metro).generate();
+    total_sessions += static_cast<double>(trace.size());
+
+    SimConfig sim_config;
+    sim_config.threads = run.threads();
+    sim_config.collect_swarms = false;
+    sim_config.collect_per_user = false;
+    sim_config.collect_hourly = true;
+    const SimResult result = HybridSimulator(metro, sim_config).run(trace);
+
+    run.metrics().set(metro_preset.name + "_sessions",
+                      static_cast<std::int64_t>(trace.size()));
+    run.metrics().set(
+        metro_preset.name + "_default_intensity",
+        intensities.default_for_metro(metro_preset.name).name());
+
+    for (const auto& params : standard_params()) {
+      const EnergyAccountant energy{CostFunctions(params)};
+      for (const auto& intensity_preset : intensities.presets()) {
+        const CarbonAccountant accountant{
+            energy, intensities.get(intensity_preset.name)};
+        const CarbonOutcome outcome = accountant.assess(result.hourly);
+        const auto band = summarize(
+            accountant.daily_carbon_savings(result.hourly));
+
+        bands.add_row({metro_preset.name, intensity_preset.name,
+                       params.name, fmt(outcome.baseline_g / 1000.0, 1),
+                       fmt(outcome.saved_g / 1000.0, 1),
+                       fmt_pct(outcome.carbon_savings),
+                       fmt_pct(outcome.energy_savings), fmt_pct(band.min),
+                       fmt_pct(band.max)});
+
+        const std::string key = metro_preset.name + "_" +
+                                intensity_preset.name + "_" + params.name;
+        run.metrics().set(key + "_gco2_baseline_kg",
+                          outcome.baseline_g / 1000.0);
+        run.metrics().set(key + "_gco2_hybrid_kg", outcome.hybrid_g / 1000.0);
+        run.metrics().set(key + "_gco2_saved_kg", outcome.saved_g / 1000.0);
+        run.metrics().set(key + "_carbon_savings", outcome.carbon_savings);
+        run.metrics().set(key + "_energy_savings", outcome.energy_savings);
+        run.metrics().set(key + "_daily_mean_carbon_savings", band.mean);
+        run.metrics().set(key + "_daily_min_carbon_savings", band.min);
+        run.metrics().set(key + "_daily_max_carbon_savings", band.max);
+      }
+    }
+  }
+  run.set_items(total_sessions, "sessions");
+
+  std::cout << "\ngCO2 savings bands over " << days
+            << " days (one simulation per metro, every intensity preset "
+               "weighting the same hourly grid):\n";
+  bands.print(std::cout);
+  std::cout << "\nflat rows reproduce the energy savings exactly; diurnal "
+               "rows differ because the evening-peaked demand concentrates "
+               "energy where the grid is dirtiest (uk_2018 evening peak, "
+               "us_caiso ramp) — absolute kgCO2 scales with the grid's "
+               "mean (nordic_hydro is ~6x cleaner throughout).\n";
+  return run.finish();
+}

@@ -96,7 +96,7 @@ void BM_HybridSimulatorSweep(benchmark::State& state) {
   TraceGenerator gen(config, metro());
   const Trace trace = gen.generate();
   SimConfig sim_config;
-  sim_config.collect_per_day = false;
+  sim_config.collect_hourly = false;
   sim_config.collect_per_user = false;
   sim_config.collect_swarms = false;
   const HybridSimulator sim(metro(), sim_config);

@@ -2,12 +2,15 @@
 //
 // Simulates a scaled London month, opens a per-user carbon ledger under
 // both energy models, and shows who streams carbon-free, who doesn't and
-// why (niche content = small swarms = few credits).
+// why (niche content = small swarms = few credits). Finishes by weighting
+// the same ledger with London's paired grid-intensity curve (uk_2018) to
+// express the balance in grams of CO₂ rather than kWh.
 //
 // Usage:  ./build/examples/carbon_credits
 #include <algorithm>
 #include <iostream>
 
+#include "carbon/intensity_curve.h"
 #include "core/analyzer.h"
 #include "core/carbon_ledger.h"
 #include "core/report.h"
@@ -51,6 +54,14 @@ int main() {
     std::cout << "users still carbon negative: " << negative << " of "
               << entries.size()
               << " (they mostly watch niche items with tiny swarms)\n";
+
+    // Grams, not joules: weight each hour's flows by the intensity of
+    // the grid the metro runs on (uk_2018 is London's pairing).
+    const IntensityCurve& grid =
+        IntensityRegistry::instance().default_for_metro(metro.name());
+    std::cout << "under the " << grid.name() << " grid ("
+              << grid.mean() << " gCO2/kWh daily mean):\n";
+    print_ledger_carbon(std::cout, ledger, grid);
   }
   return 0;
 }

@@ -1,0 +1,76 @@
+#include "carbon/carbon_accountant.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cl {
+
+CarbonAccountant::CarbonAccountant(EnergyAccountant energy,
+                                   IntensityCurve curve)
+    : energy_(std::move(energy)), curve_(std::move(curve)) {}
+
+TrafficBreakdown CarbonAccountant::sum_row(
+    const std::vector<TrafficBreakdown>& row) {
+  TrafficBreakdown sum;
+  for (const auto& t : row) sum += t;
+  return sum;
+}
+
+double CarbonAccountant::hybrid_grams(const HourlyTrafficGrid& hourly) const {
+  double grams = 0;
+  for (std::size_t h = 0; h < hourly.size(); ++h) {
+    grams += curve_.grams(energy_.hybrid(sum_row(hourly[h])).total(), h);
+  }
+  return grams;
+}
+
+double CarbonAccountant::baseline_grams(
+    const HourlyTrafficGrid& hourly) const {
+  double grams = 0;
+  for (std::size_t h = 0; h < hourly.size(); ++h) {
+    grams += curve_.grams(
+        energy_.baseline(sum_row(hourly[h]).total()).total(), h);
+  }
+  return grams;
+}
+
+double CarbonAccountant::carbon_savings(const HourlyTrafficGrid& hourly) const {
+  const double baseline = baseline_grams(hourly);
+  if (baseline <= 0) return 0.0;
+  return 1.0 - hybrid_grams(hourly) / baseline;
+}
+
+CarbonOutcome CarbonAccountant::assess(const HourlyTrafficGrid& hourly) const {
+  CarbonOutcome outcome;
+  outcome.model = energy_.costs().params().name;
+  outcome.intensity = curve_.name();
+  outcome.hybrid_g = hybrid_grams(hourly);
+  outcome.baseline_g = baseline_grams(hourly);
+  outcome.saved_g = outcome.baseline_g - outcome.hybrid_g;
+  outcome.carbon_savings =
+      outcome.baseline_g > 0 ? 1.0 - outcome.hybrid_g / outcome.baseline_g
+                             : 0.0;
+  TrafficBreakdown total;
+  for (const auto& row : hourly) total += sum_row(row);
+  outcome.energy_savings = energy_.savings(total);
+  return outcome;
+}
+
+std::vector<double> CarbonAccountant::daily_carbon_savings(
+    const HourlyTrafficGrid& hourly) const {
+  std::vector<double> out;
+  out.reserve((hourly.size() + 23) / 24);
+  for (std::size_t begin = 0; begin < hourly.size(); begin += 24) {
+    const std::size_t end = std::min(hourly.size(), begin + 24);
+    double hybrid = 0, baseline = 0;
+    for (std::size_t h = begin; h < end; ++h) {
+      const TrafficBreakdown traffic = sum_row(hourly[h]);
+      hybrid += curve_.grams(energy_.hybrid(traffic).total(), h);
+      baseline += curve_.grams(energy_.baseline(traffic.total()).total(), h);
+    }
+    out.push_back(baseline > 0 ? 1.0 - hybrid / baseline : 0.0);
+  }
+  return out;
+}
+
+}  // namespace cl

@@ -1,0 +1,79 @@
+// carbon_accountant.h — converts energy flows into grams of CO₂ by
+// weighting each hour's energy with the grid carbon intensity at
+// consumption time.
+//
+// The energy layer (energy/accounting.h) answers "how many joules"; this
+// layer answers "how many grams", which requires knowing *when* the
+// joules were spent: the simulator's hourly [hour][isp] traffic grid
+// (SimResult::hourly) supplies the when, an IntensityCurve supplies the
+// gCO₂/kWh at that hour. Under a flat curve every result reduces to the
+// unweighted energy result times a constant, so carbon savings equal
+// energy savings exactly — the backward-compatibility contract pinned in
+// tests/test_carbon_intensity.cpp and DESIGN.md §7.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "carbon/intensity_curve.h"
+#include "energy/accounting.h"
+
+namespace cl {
+
+/// The simulator's [hour][isp] traffic grid (SimResult::hourly).
+using HourlyTrafficGrid = std::vector<std::vector<TrafficBreakdown>>;
+
+/// gCO₂ outcome of one run under one energy model and one intensity
+/// curve.
+struct CarbonOutcome {
+  std::string model;         ///< energy parameter column name
+  std::string intensity;     ///< intensity preset name
+  double hybrid_g = 0;       ///< gCO₂ of the hybrid run
+  double baseline_g = 0;     ///< gCO₂ of the pure-CDN baseline
+  double saved_g = 0;        ///< baseline_g − hybrid_g
+  double carbon_savings = 0; ///< 1 − hybrid_g / baseline_g
+  double energy_savings = 0; ///< unweighted Eq. 1 on the same traffic
+};
+
+/// Prices hourly traffic grids in grams of CO₂ under one energy model
+/// and one intensity curve.
+class CarbonAccountant {
+ public:
+  CarbonAccountant(EnergyAccountant energy, IntensityCurve curve);
+
+  [[nodiscard]] const EnergyAccountant& energy() const { return energy_; }
+  [[nodiscard]] const IntensityCurve& curve() const { return curve_; }
+
+  /// gCO₂ of the hybrid run: each hour's traffic (summed across ISPs)
+  /// priced by EnergyAccountant::hybrid and weighted by the intensity at
+  /// that hour.
+  [[nodiscard]] double hybrid_grams(const HourlyTrafficGrid& hourly) const;
+
+  /// gCO₂ of the pure-CDN baseline delivering the same useful volume on
+  /// the same hourly schedule.
+  [[nodiscard]] double baseline_grams(const HourlyTrafficGrid& hourly) const;
+
+  /// Carbon savings 1 − hybrid/baseline (0 when the baseline is empty).
+  /// Differs from the energy savings whenever the curve is non-flat,
+  /// because the diurnal demand concentrates traffic in specific hours.
+  [[nodiscard]] double carbon_savings(const HourlyTrafficGrid& hourly) const;
+
+  /// The full outcome record (model/intensity names filled in).
+  [[nodiscard]] CarbonOutcome assess(const HourlyTrafficGrid& hourly) const;
+
+  /// Per-day carbon savings series: day d is 1 − hybrid/baseline over
+  /// that day's 24 hour rows (a trailing partial day uses its available
+  /// hours). Traffic-free days are 0.
+  [[nodiscard]] std::vector<double> daily_carbon_savings(
+      const HourlyTrafficGrid& hourly) const;
+
+ private:
+  /// Sums one hour row across ISPs.
+  [[nodiscard]] static TrafficBreakdown sum_row(
+      const std::vector<TrafficBreakdown>& row);
+
+  EnergyAccountant energy_;
+  IntensityCurve curve_;
+};
+
+}  // namespace cl

@@ -4,6 +4,7 @@
 #include <iostream>
 #include <string>
 
+#include "carbon/intensity_curve.h"
 #include "sim/sim_config.h"
 #include "topology/metro_registry.h"
 #include "topology/placement.h"
@@ -58,6 +59,30 @@ inline const Metro& resolve_metro(const Args& args, const Trace& trace) {
                           "); pass --metro to pick the analysis topology");
   }
   return registry.get(kDefaultMetroName);
+}
+
+/// The --intensity flag: absent → nullptr (no carbon section is
+/// printed, exactly the pre-intensity output). The special value
+/// "metro" resolves to the grid registered alongside the selected metro
+/// preset (IntensityRegistry::default_for_metro); any other value is a
+/// registry preset name, and an unknown name is a hard argument error
+/// listing every valid preset.
+inline const IntensityCurve* intensity_from(const Args& args,
+                                            const std::string& metro_name) {
+  const auto name = args.get("intensity");
+  if (!name) return nullptr;
+  const IntensityRegistry& registry = IntensityRegistry::instance();
+  if (*name == "metro") return &registry.default_for_metro(metro_name);
+  if (const IntensityCurve* curve = registry.find(*name)) return curve;
+  throw ParseError("unknown intensity preset '" + *name +
+                   "' (valid: metro, " + registry.names_joined() + ")");
+}
+
+/// Rejects an unknown --intensity name *before* any expensive trace
+/// load/generation (the actual curve resolves after the metro is known —
+/// intensity_from). A typo should fail in milliseconds, not minutes.
+inline void validate_intensity_flag(const Args& args) {
+  (void)intensity_from(args, kDefaultMetroName);
 }
 
 /// Shared --threads knob: worker threads for sharded generation, the

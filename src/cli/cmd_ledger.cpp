@@ -10,12 +10,20 @@
 namespace cl::cli {
 
 int cmd_ledger(const Args& args) {
+  validate_intensity_flag(args);
   const Trace trace = load_or_generate(args);
-  const Analyzer analyzer(resolve_metro(args, trace), sim_config_from(args));
+  const Metro& metro = resolve_metro(args, trace);
+  const IntensityCurve* intensity = intensity_from(args, metro.name());
+  const Analyzer analyzer(metro, sim_config_from(args));
   const SimResult result = analyzer.simulate(trace);
   for (const auto& params : analyzer.models()) {
+    const CarbonLedger ledger(result, params);
     std::cout << "\n";
-    print_ledger_summary(std::cout, CarbonLedger(result, params));
+    print_ledger_summary(std::cout, ledger);
+    if (intensity) {
+      std::cout << "\n";
+      print_ledger_carbon(std::cout, ledger, *intensity);
+    }
   }
   return 0;
 }
@@ -38,16 +46,19 @@ commands:
                                   convert between CSV and binary .cltrace
   simulate  [--trace PATH] [--metro NAME] [--format auto|csv|binary]
             [--qb R] [--cross-isp] [--mixed-bitrate]
-            [--matcher existence|capacity] [--threads N]
+            [--matcher existence|capacity] [--intensity NAME] [--threads N]
                                   aggregate hybrid-vs-CDN savings report
   swarm     [--trace PATH] --content ID [--isp I] [--metro NAME] [--qb R]
                                   one swarm, simulation vs closed form
-  model     [--capacity C] [--qb R] [--metro NAME]
+  model     [--capacity C] [--qb R] [--metro NAME] [--intensity NAME]
                                   evaluate Eqs. 3/12/13 (no simulation)
   plan      [--target S] [--qb R] [--minutes M] [--metro NAME]
                                   capacities & popularity for targets
-  ledger    [--trace PATH] [--metro NAME] [--qb R]
+  ledger    [--trace PATH] [--metro NAME] [--qb R] [--intensity NAME]
                                   per-user carbon credit ledger
+
+Full flag-by-flag reference with examples: docs/CLI.md (kept in lockstep
+with this help text by tools/check_cli_docs.py).
 
 Commands that accept --trace generate a scaled synthetic London month when
 the flag is omitted, and read both trace formats: CSV for interchange and
@@ -61,6 +72,19 @@ any N.
 trace-consuming commands default to the trace's own metro):
 )";
   for (const auto& preset : MetroRegistry::instance().presets()) {
+    std::cout << "  " << preset.name;
+    for (std::size_t pad = preset.name.size(); pad < 14; ++pad) {
+      std::cout << ' ';
+    }
+    std::cout << preset.description << "\n";
+  }
+  std::cout <<
+      R"(
+--intensity NAME weights energy by a 24-hour grid carbon-intensity curve
+(gCO2/kWh) and adds absolute-gCO2 / weighted-CCT output; "metro" picks
+the grid registered alongside the selected metro. Presets:
+)";
+  for (const auto& preset : IntensityRegistry::instance().presets()) {
     std::cout << "  " << preset.name;
     for (std::size_t pad = preset.name.size(); pad < 14; ++pad) {
       std::cout << ' ';

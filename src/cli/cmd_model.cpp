@@ -4,6 +4,7 @@
 
 #include "cli/cli_common.h"
 #include "cli/commands.h"
+#include "energy/cost_functions.h"
 #include "model/carbon_credit.h"
 #include "model/savings.h"
 #include "model/split_swarm.h"
@@ -15,6 +16,7 @@ int cmd_model(const Args& args) {
   const double capacity = args.get_double("capacity", 10.0);
   const double qb = args.get_double("qb", 1.0);
   const Metro& metro = metro_from_flag(args);
+  const IntensityCurve* intensity = intensity_from(args, metro.name());
   std::cout << "\nclosed-form evaluation at capacity c = " << capacity
             << ", q/b = " << qb << " (metro " << metro.name()
             << ", ISP-1 tree):\n\n";
@@ -36,6 +38,34 @@ int cmd_model(const Args& args) {
   std::cout << "\n'S split' partitions the audience over ISP market shares "
                "and the device bitrate mix — what a real deployment (and "
                "the simulator) achieves at this whole-item capacity.\n";
+
+  if (intensity) {
+    // The closed form has no time axis, so the curve enters through its
+    // summary statistics: per-GB carbon at the daily mean intensity plus
+    // the off-peak/peak band the same joules would span.
+    std::cout << "\nper-GB carbon under intensity " << intensity->name()
+              << " (mean " << fmt(intensity->mean(), 1)
+              << " gCO2/kWh, off-peak " << fmt(intensity->min(), 1)
+              << ", peak " << fmt(intensity->max(), 1) << "):\n";
+    TextTable carbon({"model", "CDN gCO2/GB", "hybrid gCO2/GB",
+                      "hybrid off-peak", "hybrid peak"});
+    for (const auto& params : standard_params()) {
+      const CostFunctions costs(params);
+      const auto split =
+          SplitSwarmModel::isp_bitrate_partition(params, metro, mix);
+      const Energy baseline_per_gb =
+          (costs.cdn_side_per_bit() + costs.user_side_per_bit()) *
+          Bits::from_bytes(1e9);
+      const double s = split.savings(capacity, qb);
+      const Energy hybrid_per_gb = baseline_per_gb * (1.0 - s);
+      carbon.add_row(
+          {params.name, fmt(baseline_per_gb.kwh() * intensity->mean(), 2),
+           fmt(hybrid_per_gb.kwh() * intensity->mean(), 2),
+           fmt(hybrid_per_gb.kwh() * intensity->min(), 2),
+           fmt(hybrid_per_gb.kwh() * intensity->max(), 2)});
+    }
+    carbon.print(std::cout);
+  }
   return 0;
 }
 

@@ -9,13 +9,31 @@
 namespace cl::cli {
 
 int cmd_simulate(const Args& args) {
+  validate_intensity_flag(args);
   const Trace trace = load_or_generate(args);
   const Metro& metro = resolve_metro(args, trace);
+  const IntensityCurve* intensity = intensity_from(args, metro.name());
   const Analyzer analyzer(metro, sim_config_from(args));
   std::cout << "\nsessions: " << trace.size() << ", span "
             << trace.span.value() / 86400.0 << " days, metro "
             << metro.name() << "\n\n";
-  print_aggregate(std::cout, analyzer.aggregate(trace));
+  if (intensity) {
+    // One simulator run feeds both reports: collect the swarms the
+    // aggregate's theory column needs *and* the hourly grid the carbon
+    // weighting needs.
+    SimConfig config = analyzer.sim_config();
+    config.collect_swarms = true;
+    config.collect_hourly = true;
+    config.collect_per_user = false;
+    const SimResult result = HybridSimulator(metro, config).run(trace);
+    print_aggregate(std::cout, analyzer.aggregate(result));
+    std::cout << "\ncarbon under intensity " << intensity->name() << " (mean "
+              << intensity->mean() << " gCO2/kWh, min " << intensity->min()
+              << ", max " << intensity->max() << "):\n";
+    print_carbon_report(std::cout, analyzer.carbon_report(result, *intensity));
+  } else {
+    print_aggregate(std::cout, analyzer.aggregate(trace));
+  }
   return 0;
 }
 

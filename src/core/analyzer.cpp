@@ -50,7 +50,7 @@ SavingsModel Analyzer::savings_model(std::size_t model_index,
 SwarmExperiment Analyzer::analyze_swarm(const Trace& trace,
                                         std::size_t isp_for_theory) const {
   SimConfig config = sim_config_;
-  config.collect_per_day = false;
+  config.collect_hourly = false;
   config.collect_per_user = false;
   config.collect_swarms = false;
   const SimResult result = HybridSimulator(*metro_, config).run(trace);
@@ -172,7 +172,7 @@ std::vector<std::vector<std::vector<double>>> Analyzer::theory_daily(
 
 DailyReport Analyzer::daily_report(const Trace& trace) const {
   SimConfig config = sim_config_;
-  config.collect_per_day = true;
+  config.collect_hourly = true;
   config.collect_per_user = false;
   config.collect_swarms = false;
   const SimResult result = HybridSimulator(*metro_, config).run(trace);
@@ -189,7 +189,7 @@ DailyReport Analyzer::daily_report(const Trace& trace) const {
 
 SwarmDistributions Analyzer::swarm_distributions(const Trace& trace) const {
   SimConfig config = sim_config_;
-  config.collect_per_day = false;
+  config.collect_hourly = false;
   config.collect_per_user = false;
   config.collect_swarms = true;
   const SimResult result = HybridSimulator(*metro_, config).run(trace);
@@ -237,13 +237,53 @@ SwarmDistributions Analyzer::swarm_distributions(const Trace& trace) const {
   return dist;
 }
 
+std::vector<CarbonOutcome> Analyzer::carbon_report(
+    const Trace& trace, const IntensityCurve& curve) const {
+  SimConfig config = sim_config_;
+  config.collect_hourly = true;
+  config.collect_per_user = false;
+  config.collect_swarms = false;
+  return carbon_report(HybridSimulator(*metro_, config).run(trace), curve);
+}
+
+std::vector<CarbonOutcome> Analyzer::carbon_report(
+    const SimResult& result, const IntensityCurve& curve) const {
+  // run() pads the grid to at least one row whenever collect_hourly was
+  // set, so an empty grid means the precondition was not met — fail as
+  // loudly as CarbonLedger's require_hourly_flows does.
+  if (result.hourly.empty()) {
+    throw InvalidArgument(
+        "carbon_report needs the hourly grid: run the simulation with "
+        "SimConfig::collect_hourly");
+  }
+  std::vector<CarbonOutcome> outcomes;
+  outcomes.reserve(models_.size());
+  for (const auto& params : models_) {
+    const CarbonAccountant accountant{EnergyAccountant{CostFunctions(params)},
+                                      curve};
+    outcomes.push_back(accountant.assess(result.hourly));
+  }
+  return outcomes;
+}
+
 std::vector<AggregateOutcome> Analyzer::aggregate(const Trace& trace) const {
   SimConfig config = sim_config_;
-  config.collect_per_day = false;
+  config.collect_hourly = false;
   config.collect_per_user = false;
   config.collect_swarms = true;
-  const SimResult result = HybridSimulator(*metro_, config).run(trace);
+  return aggregate(HybridSimulator(*metro_, config).run(trace));
+}
 
+std::vector<AggregateOutcome> Analyzer::aggregate(
+    const SimResult& result) const {
+  // Swarms empty despite traffic having moved means collect_swarms was
+  // off — the theory column would silently report 0 (a genuinely empty
+  // trace is fine: everything is legitimately zero then).
+  if (result.swarms.empty() && result.total.total().value() > 0) {
+    throw InvalidArgument(
+        "aggregate needs per-swarm results: run the simulation with "
+        "SimConfig::collect_swarms");
+  }
   std::vector<AggregateOutcome> outcomes;
   for (std::size_t m = 0; m < models_.size(); ++m) {
     const EnergyAccountant accountant{CostFunctions(models_[m])};

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "carbon/carbon_accountant.h"
 #include "energy/energy_params.h"
 #include "model/savings.h"
 #include "sim/hybrid_sim.h"
@@ -105,6 +106,24 @@ class Analyzer {
   /// Whole-trace headline numbers per energy model.
   [[nodiscard]] std::vector<AggregateOutcome> aggregate(
       const Trace& trace) const;
+
+  /// Same, on an existing simulation result (must have been produced
+  /// with collect_swarms — the theory column aggregates per swarm;
+  /// throws cl::InvalidArgument when traffic moved but no swarms were
+  /// collected). Lets one simulator run feed several report flavours.
+  [[nodiscard]] std::vector<AggregateOutcome> aggregate(
+      const SimResult& result) const;
+
+  /// Absolute gCO₂ per energy model under one grid-intensity curve: runs
+  /// the simulator with the hourly grid collected and weights each hour's
+  /// energy by the intensity at consumption time (src/carbon/).
+  [[nodiscard]] std::vector<CarbonOutcome> carbon_report(
+      const Trace& trace, const IntensityCurve& curve) const;
+
+  /// Same, on an existing simulation result (must have been produced
+  /// with collect_hourly; throws cl::InvalidArgument otherwise).
+  [[nodiscard]] std::vector<CarbonOutcome> carbon_report(
+      const SimResult& result, const IntensityCurve& curve) const;
 
   /// The closed-form model for one energy column and one ISP tree.
   [[nodiscard]] SavingsModel savings_model(std::size_t model_index,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "model/carbon_credit.h"
+#include "util/error.h"
 #include "util/stats.h"
 
 namespace cl {
@@ -23,6 +24,14 @@ CarbonLedger::CarbonLedger(const SimResult& result, EnergyParams params)
             [](const LedgerEntry& a, const LedgerEntry& b) {
               return a.user < b.user;
             });
+  // Collapse the hourly grid across ISPs: the intensity weighting only
+  // needs "how much moved during hour h" (peer bits == user uploads).
+  hourly_flows_.reserve(result.hourly.size());
+  for (const auto& row : result.hourly) {
+    TrafficBreakdown sum;
+    for (const auto& t : row) sum += t;
+    hourly_flows_.push_back({sum.total(), sum.peer_total()});
+  }
 }
 
 std::vector<double> CarbonLedger::cct_values() const {
@@ -66,6 +75,41 @@ Energy CarbonLedger::total_user_energy() const {
 double CarbonLedger::system_cct() const {
   const double credits = total_credits().value();
   const double spent = total_user_energy().value();
+  return spent > 0 ? (credits - spent) / spent : 0.0;
+}
+
+void CarbonLedger::require_hourly_flows() const {
+  if (hourly_flows_.empty()) {
+    throw InvalidArgument(
+        "intensity-weighted ledger metrics need the hourly grid: run the "
+        "simulation with SimConfig::collect_hourly");
+  }
+}
+
+double CarbonLedger::total_credits_gco2(const IntensityCurve& curve) const {
+  require_hourly_flows();
+  double grams = 0;
+  for (std::size_t h = 0; h < hourly_flows_.size(); ++h) {
+    grams += curve.grams(credit_energy(hourly_flows_[h].peer, params_), h);
+  }
+  return grams;
+}
+
+double CarbonLedger::total_user_gco2(const IntensityCurve& curve) const {
+  require_hourly_flows();
+  double grams = 0;
+  for (std::size_t h = 0; h < hourly_flows_.size(); ++h) {
+    grams += curve.grams(
+        user_energy(hourly_flows_[h].delivered, hourly_flows_[h].peer,
+                    params_),
+        h);
+  }
+  return grams;
+}
+
+double CarbonLedger::weighted_system_cct(const IntensityCurve& curve) const {
+  const double credits = total_credits_gco2(curve);
+  const double spent = total_user_gco2(curve);
   return spent > 0 ? (credits - spent) / spent : 0.0;
 }
 

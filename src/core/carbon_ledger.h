@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "carbon/intensity_curve.h"
 #include "energy/energy_params.h"
 #include "sim/metrics.h"
 
@@ -24,11 +25,21 @@ struct LedgerEntry {
   double cct = 0;  ///< normalised balance; >= 0 means carbon-free streaming
 };
 
+/// One hour's system-wide byte flows (summed across ISPs): the temporal
+/// resolution of the ledger's intensity-weighted metrics.
+struct HourFlow {
+  Bits delivered;  ///< all useful bits streamed during the hour
+  Bits peer;       ///< bits delivered by peers (== bits uploaded by users)
+};
+
 /// Per-user carbon accounting for one simulation run under one energy
 /// model.
 class CarbonLedger {
  public:
   /// Requires `result` to have been produced with collect_per_user = true.
+  /// When the result also carries the hourly grid (collect_hourly), the
+  /// ledger retains per-hour system flows and can weight its totals by a
+  /// grid carbon-intensity curve (the gCO₂ methods below).
   CarbonLedger(const SimResult& result, EnergyParams params);
 
   [[nodiscard]] const EnergyParams& params() const { return params_; }
@@ -55,9 +66,36 @@ class CarbonLedger {
   /// System-wide CCT: Eq. 13 evaluated on the aggregate byte flows.
   [[nodiscard]] double system_cct() const;
 
+  // --- intensity-weighted metrics (need the hourly flows) ---
+
+  /// Per-hour system flows retained from the simulation's hourly grid
+  /// (empty when the result was produced without collect_hourly).
+  [[nodiscard]] const std::vector<HourFlow>& hourly_flows() const {
+    return hourly_flows_;
+  }
+
+  /// Absolute credits issued, in grams of CO₂: each hour's PUE·γs·U_h
+  /// weighted by the grid intensity at that hour. Throws
+  /// cl::InvalidArgument when no hourly flows were collected.
+  [[nodiscard]] double total_credits_gco2(const IntensityCurve& curve) const;
+
+  /// Absolute user-side consumption, in grams of CO₂: each hour's
+  /// l·γm·(D_h + U_h) weighted by the grid intensity at that hour.
+  [[nodiscard]] double total_user_gco2(const IntensityCurve& curve) const;
+
+  /// Intensity-weighted system CCT: Eq. 13 with every hour's credit and
+  /// consumption weighted by the intensity at that hour —
+  /// (Σ I_h·PUE·γs·U_h − Σ I_h·l·γm·(D_h+U_h)) / Σ I_h·l·γm·(D_h+U_h).
+  /// Under a flat curve the weights cancel and this equals system_cct()
+  /// (up to summation order). 0 when nothing was consumed.
+  [[nodiscard]] double weighted_system_cct(const IntensityCurve& curve) const;
+
  private:
+  void require_hourly_flows() const;
+
   EnergyParams params_;
   std::vector<LedgerEntry> entries_;
+  std::vector<HourFlow> hourly_flows_;
 };
 
 }  // namespace cl

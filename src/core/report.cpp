@@ -53,12 +53,42 @@ void print_ledger_summary(std::ostream& out, const CarbonLedger& ledger) {
   table.add_row({"users", fmt_count(ledger.entries().size())});
   table.add_row(
       {"carbon-free users", fmt_pct(ledger.fraction_carbon_free())});
-  table.add_row({"median per-user CCT", fmt(ledger.median_cct(), 3)});
-  table.add_row({"system CCT", fmt(ledger.system_cct(), 3)});
+  // CCT balances sit near the carbon-neutral point, where fixed 3-decimal
+  // rounding would flatten them to 0.000 — shortest round-trip instead
+  // (the trace writer's formatting policy).
+  table.add_row({"median per-user CCT", fmt_shortest(ledger.median_cct())});
+  table.add_row({"system CCT", fmt_shortest(ledger.system_cct())});
   table.add_row({"credits issued (kWh)",
                  fmt(ledger.total_credits().kwh(), 3)});
   table.add_row({"user energy (kWh)",
                  fmt(ledger.total_user_energy().kwh(), 3)});
+  table.print(out);
+}
+
+void print_ledger_carbon(std::ostream& out, const CarbonLedger& ledger,
+                         const IntensityCurve& curve) {
+  TextTable table({"metric", "value"});
+  table.add_row({"intensity preset",
+                 curve.name() + " (mean " + fmt(curve.mean(), 1) +
+                     " gCO2/kWh)"});
+  table.add_row({"credits issued (kgCO2)",
+                 fmt(ledger.total_credits_gco2(curve) / 1000.0, 3)});
+  table.add_row({"user energy (kgCO2)",
+                 fmt(ledger.total_user_gco2(curve) / 1000.0, 3)});
+  table.add_row({"weighted system CCT",
+                 fmt_shortest(ledger.weighted_system_cct(curve))});
+  table.print(out);
+}
+
+void print_carbon_report(std::ostream& out,
+                         const std::vector<CarbonOutcome>& outcomes) {
+  TextTable table({"model", "baseline (kgCO2)", "hybrid (kgCO2)",
+                   "saved (kgCO2)", "carbon savings", "energy savings"});
+  for (const auto& o : outcomes) {
+    table.add_row({o.model, fmt(o.baseline_g / 1000.0, 2),
+                   fmt(o.hybrid_g / 1000.0, 2), fmt(o.saved_g / 1000.0, 2),
+                   fmt_pct(o.carbon_savings), fmt_pct(o.energy_savings)});
+  }
   table.print(out);
 }
 

@@ -26,4 +26,14 @@ void print_aggregate(std::ostream& out,
 /// Prints the carbon ledger summary (not the full per-user list).
 void print_ledger_summary(std::ostream& out, const CarbonLedger& ledger);
 
+/// Prints the ledger's intensity-weighted totals: absolute gCO₂ credits
+/// and consumption plus the weighted system CCT under `curve`.
+void print_ledger_carbon(std::ostream& out, const CarbonLedger& ledger,
+                         const IntensityCurve& curve);
+
+/// Prints the per-model gCO₂ outcomes of a run under one intensity curve
+/// (Analyzer::carbon_report).
+void print_carbon_report(std::ostream& out,
+                         const std::vector<CarbonOutcome>& outcomes);
+
 }  // namespace cl

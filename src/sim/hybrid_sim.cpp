@@ -111,10 +111,10 @@ SimResult HybridSimulator::run(const Trace& trace) const {
     }
   }
 
-  // Partials start with an empty daily grid; sweeps grow it only for the
-  // days their swarms actually touch (a month of per-chunk full grids
-  // would cost O(chunks × days × isps) up-front), and run() pads the
-  // merged result to the full [days][isps] shape at the end.
+  // Partials start with an empty hourly grid; sweeps grow it only for the
+  // hours their swarms actually touch (a month of per-chunk full grids
+  // would cost O(chunks × hours × isps) up-front), and run() pads the
+  // merged result to the full [hours][isps] shape at the end.
   const auto make_partial = [&] {
     SimResult partial;
     partial.config = config_;
@@ -154,13 +154,13 @@ SimResult HybridSimulator::run(const Trace& trace) const {
       [](SimResult& merged, const SimResult& chunk) { merged.merge(chunk); },
       swarms_per_chunk(swarms.size()));
 
-  if (config_.collect_per_day) {
-    // Pad to the full [days][isps] shape (traffic-free cells stay zero).
-    const auto days = std::max<std::size_t>(
-        1, static_cast<std::size_t>(std::ceil(trace.span.value() / 86400.0)));
-    if (result.daily.size() < days) result.daily.resize(days);
-    for (auto& day : result.daily) {
-      if (day.size() < metro_->isp_count()) day.resize(metro_->isp_count());
+  if (config_.collect_hourly) {
+    // Pad to the full [hours][isps] shape (traffic-free cells stay zero).
+    const auto hours = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(trace.span.value() / 3600.0)));
+    if (result.hourly.size() < hours) result.hourly.resize(hours);
+    for (auto& hour : result.hourly) {
+      if (hour.size() < metro_->isp_count()) hour.resize(metro_->isp_count());
     }
   }
   return result;

@@ -11,7 +11,7 @@
 // Implementation note: the active set of a swarm only changes when a
 // session joins or leaves, so the simulator batches stretches of identical
 // windows — one allocation is computed per stretch and multiplied by the
-// stretch length (splitting at day boundaries when per-day metrics are
+// stretch length (splitting at hour boundaries when the hourly grid is
 // collected). This is exact, not an approximation, and reduces the cost
 // from O(windows × peers) to O(events × peers).
 //
@@ -46,7 +46,7 @@ class HybridSimulator {
 
   /// Simulates the whole trace: groups sessions into swarms, sweeps each
   /// swarm on SimConfig::threads workers, and merges the per-swarm /
-  /// per-day / per-user metrics deterministically. Throws
+  /// per-hour / per-user metrics deterministically. Throws
   /// cl::InvalidArgument when the trace's ISP/exchange-point ids do not
   /// fit this metro's trees (a trace replayed against the wrong metro —
   /// see topology/metro_registry.h).

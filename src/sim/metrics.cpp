@@ -4,20 +4,35 @@
 
 namespace cl {
 
+std::vector<std::vector<TrafficBreakdown>> SimResult::daily_grid() const {
+  std::vector<std::vector<TrafficBreakdown>> days;
+  days.reserve((hourly.size() + 23) / 24);
+  for (std::size_t h = 0; h < hourly.size(); ++h) {
+    const std::size_t day = h / 24;
+    if (day >= days.size()) days.resize(day + 1);
+    auto& row = days[day];
+    if (row.size() < hourly[h].size()) row.resize(hourly[h].size());
+    for (std::size_t i = 0; i < hourly[h].size(); ++i) {
+      row[i] += hourly[h][i];
+    }
+  }
+  return days;
+}
+
 void SimResult::merge(const SimResult& other) {
   total += other.total;
   if (other.span.value() > span.value()) span = other.span;
 
-  if (!other.daily.empty()) {
-    if (daily.size() < other.daily.size()) {
-      daily.resize(other.daily.size());
+  if (!other.hourly.empty()) {
+    if (hourly.size() < other.hourly.size()) {
+      hourly.resize(other.hourly.size());
     }
-    for (std::size_t d = 0; d < other.daily.size(); ++d) {
-      const auto& other_day = other.daily[d];
-      auto& day = daily[d];
-      if (day.size() < other_day.size()) day.resize(other_day.size());
-      for (std::size_t i = 0; i < other_day.size(); ++i) {
-        day[i] += other_day[i];
+    for (std::size_t h = 0; h < other.hourly.size(); ++h) {
+      const auto& other_hour = other.hourly[h];
+      auto& hour = hourly[h];
+      if (hour.size() < other_hour.size()) hour.resize(other_hour.size());
+      for (std::size_t i = 0; i < other_hour.size(); ++i) {
+        hour[i] += other_hour[i];
       }
     }
   }
@@ -38,9 +53,10 @@ double swarm_savings(const SwarmResult& swarm,
 
 std::vector<std::vector<double>> daily_savings(
     const SimResult& result, const EnergyAccountant& accountant) {
+  const auto daily = result.daily_grid();
   std::vector<std::vector<double>> out;
-  out.reserve(result.daily.size());
-  for (const auto& day : result.daily) {
+  out.reserve(daily.size());
+  for (const auto& day : daily) {
     std::vector<double> row;
     row.reserve(day.size());
     for (const auto& traffic : day) {

@@ -42,8 +42,12 @@ struct SimResult {
   /// One entry per swarm (empty unless config.collect_swarms).
   std::vector<SwarmResult> swarms;
 
-  /// daily[day][isp] traffic (empty unless config.collect_per_day).
-  std::vector<std::vector<TrafficBreakdown>> daily;
+  /// hourly[hour][isp] traffic (empty unless config.collect_hourly).
+  /// Hour h covers trace time [h·3600, (h+1)·3600); hour-of-day is
+  /// h mod 24 (traces start at local midnight). This is the grid the
+  /// carbon-intensity subsystem (src/carbon/) weights by the grid's
+  /// gCO₂/kWh at consumption time.
+  std::vector<std::vector<TrafficBreakdown>> hourly;
 
   /// Per-user byte totals (empty unless config.collect_per_user).
   std::unordered_map<std::uint32_t, UserTraffic> users;
@@ -51,8 +55,13 @@ struct SimResult {
   /// System-wide offload fraction G achieved by the run.
   [[nodiscard]] double offload() const { return total.offload_fraction(); }
 
+  /// The [day][isp] view of `hourly`: 24 consecutive hour rows summed
+  /// per day (a trailing partial day keeps its partial sum). Empty when
+  /// `hourly` is empty.
+  [[nodiscard]] std::vector<std::vector<TrafficBreakdown>> daily_grid() const;
+
   /// Folds another partial into this one: sums `total`, element-wise adds
-  /// the `daily` per-ISP grids (growing this grid when `other`'s is
+  /// the `hourly` per-ISP grids (growing this grid when `other`'s is
   /// larger), folds the per-user map, and appends `other.swarms` — so
   /// merging chunk partials in ascending swarm-key order keeps `swarms`
   /// globally key-sorted. `span` takes the larger of the two; `config` is
@@ -66,7 +75,8 @@ struct SimResult {
                                    const EnergyAccountant& accountant);
 
 /// Aggregate daily savings per ISP: savings[day][isp] (days × isps), under
-/// one energy model. Entries with no traffic are 0.
+/// one energy model, computed over the day-collapsed view of the hourly
+/// grid (SimResult::daily_grid). Entries with no traffic are 0.
 [[nodiscard]] std::vector<std::vector<double>> daily_savings(
     const SimResult& result, const EnergyAccountant& accountant);
 

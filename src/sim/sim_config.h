@@ -54,7 +54,10 @@ struct SimConfig {
   // --- metric collection toggles (cost only, results identical) ---
   bool collect_swarms = true;    ///< per-swarm results (Figs. 2, 3)
   bool collect_per_user = true;  ///< per-user up/down bytes (Fig. 6)
-  bool collect_per_day = true;   ///< per-day, per-ISP traffic (Fig. 4)
+  /// Per-hour, per-ISP traffic grid (SimResult::hourly) — feeds Fig. 4's
+  /// daily savings (via SimResult::daily_grid) and the carbon-intensity
+  /// weighting (src/carbon/).
+  bool collect_hourly = true;
 };
 
 }  // namespace cl

@@ -34,11 +34,11 @@ void SwarmSweep::sweep(SwarmKey key, std::span<const std::uint32_t> indices,
   CL_EXPECTS(indices.size() <= static_cast<std::size_t>(
                                    std::numeric_limits<std::int32_t>::max()));
   const double dt = config_.window.value();
-  // Upper bound of the lazily grown daily grid: a session ending past
+  // Upper bound of the lazily grown hourly grid: a session ending past
   // trace.span (corrupt #span= header) must fail loudly, exactly as the
   // old span-sized-grid bounds check did.
-  const auto max_days = std::max<std::size_t>(
-      1, static_cast<std::size_t>(std::ceil(trace.span.value() / 86400.0)));
+  const auto max_hours = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(trace.span.value() / 3600.0)));
 
   // Window-quantised join/leave events. Sessions shorter than one window
   // are skipped: they never complete a full Δτ streaming step.
@@ -97,20 +97,20 @@ void SwarmSweep::sweep(SwarmKey key, std::span<const std::uint32_t> indices,
         ut.uploaded += Bits{alloc_[i].upload_bits * total_windows};
       }
     }
-    if (config_.collect_per_day) {
+    if (config_.collect_hourly) {
       std::uint64_t w = w0;
       while (w < w1) {
-        const auto day = static_cast<std::size_t>(
-            static_cast<double>(w) * dt / 86400.0);
-        const auto day_end_window = static_cast<std::uint64_t>(
-            std::ceil(static_cast<double>(day + 1) * 86400.0 / dt));
-        const std::uint64_t chunk_end = std::min(w1, day_end_window);
+        const auto hour = static_cast<std::size_t>(
+            static_cast<double>(w) * dt / 3600.0);
+        const auto hour_end_window = static_cast<std::uint64_t>(
+            std::ceil(static_cast<double>(hour + 1) * 3600.0 / dt));
+        const std::uint64_t chunk_end = std::min(w1, hour_end_window);
         const auto chunk = static_cast<double>(chunk_end - w);
-        // Grow the partial's grid lazily: only days this swarm touches
+        // Grow the partial's grid lazily: only hours this swarm touches
         // get a row (HybridSimulator::run pads the merged result).
-        CL_ENSURES(day < max_days);
-        if (day >= out.daily.size()) out.daily.resize(day + 1);
-        auto& row = out.daily[day];
+        CL_ENSURES(hour < max_hours);
+        if (hour >= out.hourly.size()) out.hourly.resize(hour + 1);
+        auto& row = out.hourly[hour];
         if (row.size() < metro_->isp_count()) {
           row.resize(metro_->isp_count());
         }

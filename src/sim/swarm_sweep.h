@@ -37,10 +37,10 @@ class SwarmSweep {
   SwarmSweep(const Metro& metro, const SimConfig& config);
 
   /// Sweeps one swarm (the sessions at `indices` into `trace`) and
-  /// accumulates its traffic into `out`. When `config.collect_per_day`
-  /// is set, `out.daily` grows lazily to cover the days the swarm
+  /// accumulates its traffic into `out`. When `config.collect_hourly`
+  /// is set, `out.hourly` grows lazily to cover the hours the swarm
   /// touches — SimResult::merge aligns differently grown grids, and
-  /// HybridSimulator::run pads the merged result to [days][isps].
+  /// HybridSimulator::run pads the merged result to [hours][isps].
   void sweep(SwarmKey key, std::span<const std::uint32_t> indices,
              const Trace& trace, SimResult& out);
 

@@ -1,6 +1,7 @@
 #include "util/table.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdint>
 #include <iomanip>
 #include <sstream>
@@ -59,6 +60,13 @@ std::string fmt(double v, int precision) {
   std::ostringstream os;
   os << std::fixed << std::setprecision(precision) << v;
   return os.str();
+}
+
+std::string fmt_shortest(double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  CL_ENSURES(res.ec == std::errc{});
+  return std::string(buf, res.ptr);
 }
 
 std::string fmt_sci(double v, int precision) {

@@ -35,6 +35,12 @@ class TextTable {
 /// Formats a double with fixed precision (bench output helper).
 [[nodiscard]] std::string fmt(double v, int precision = 4);
 
+/// Shortest round-trip decimal formatting (std::to_chars) — the same
+/// policy as the trace writer (util/csv.h). Use where fixed precision
+/// would hide small-but-meaningful values, e.g. the ledger's CCT
+/// balances near the carbon-neutral point.
+[[nodiscard]] std::string fmt_shortest(double v);
+
 /// Formats a double in scientific notation with given precision.
 [[nodiscard]] std::string fmt_sci(double v, int precision = 3);
 

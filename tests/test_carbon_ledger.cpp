@@ -3,9 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+
+#include "carbon/intensity_curve.h"
 #include "model/carbon_credit.h"
 #include "sim/hybrid_sim.h"
 #include "trace/synthetic.h"
+#include "util/error.h"
 
 namespace cl {
 namespace {
@@ -89,6 +93,128 @@ TEST(CarbonLedger, MedianCct) {
   // Median of {-1, cct(0.8), cct(3.0)} is the middle user's value.
   EXPECT_NEAR(ledger.median_cct(),
               per_user_cct(Bits{1e9}, Bits{0.8e9}, baliga_params()), 1e-12);
+}
+
+TEST(CarbonLedger, ZeroTrafficUserIsNeutral) {
+  // A user who moved nothing at all has no footprint and no credits:
+  // CCT is exactly 0 (carbon-neutral), and they count as carbon-free.
+  SimResult result;
+  result.users[0] = {Bits{0}, Bits{0}};
+  const CarbonLedger ledger(result, baliga_params());
+  ASSERT_EQ(ledger.entries().size(), 1u);
+  EXPECT_DOUBLE_EQ(ledger.entries()[0].cct, 0.0);
+  EXPECT_DOUBLE_EQ(ledger.fraction_carbon_free(), 1.0);
+  EXPECT_DOUBLE_EQ(ledger.total_credits().value(), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.total_user_energy().value(), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.system_cct(), 0.0);
+}
+
+TEST(CarbonLedger, UploadOnlyUserHitsTheCctCeilingForm) {
+  // D = 0: CCT = PUE·γs/(l·γm) − 1, the per-bit credit/cost ratio —
+  // independent of how much was uploaded.
+  const auto params = valancius_params();
+  SimResult small, large;
+  small.users[0] = {Bits{0}, Bits{1e9}};
+  // ×8: an exact power-of-two scaling, so the ratio is bitwise identical.
+  large.users[0] = {Bits{0}, Bits{8e9}};
+  const CarbonLedger a(small, params);
+  const CarbonLedger b(large, params);
+  const double expected = params.pue * params.gamma_server.value() /
+                              (params.loss * params.gamma_modem.value()) -
+                          1.0;
+  EXPECT_NEAR(a.entries()[0].cct, expected, 1e-12);
+  EXPECT_DOUBLE_EQ(a.entries()[0].cct, b.entries()[0].cct);
+  EXPECT_GT(a.entries()[0].cct, 0.0);
+}
+
+TEST(CarbonLedger, CreditCostBoundaryPueGammaSEqualsLossGammaM) {
+  // PUE·γs == l·γm: a credited bit exactly pays for a moved bit, so
+  // CCT_u = U/(D+U) − 1 — zero for an upload-only user, negative for
+  // anyone who downloads, and carbon neutrality is unreachable.
+  EnergyParams params = baliga_params();
+  params.pue = 1.0;
+  params.loss = 1.0;
+  params.gamma_server = params.gamma_modem;
+  params.validate();
+
+  SimResult result;
+  result.users[0] = {Bits{0}, Bits{5e9}};    // upload-only: exactly neutral
+  result.users[1] = {Bits{1e9}, Bits{1e9}};  // balanced: -0.5
+  result.users[2] = {Bits{1e9}, Bits{0}};    // pure downloader: -1
+  const CarbonLedger ledger(result, params);
+  EXPECT_DOUBLE_EQ(ledger.entries()[0].cct, 0.0);
+  EXPECT_DOUBLE_EQ(ledger.entries()[1].cct, -0.5);
+  EXPECT_DOUBLE_EQ(ledger.entries()[2].cct, -1.0);
+  EXPECT_NEAR(ledger.fraction_carbon_free(), 1.0 / 3.0, 1e-12);
+  EXPECT_THROW((void)carbon_neutral_offload(params), InvalidArgument);
+}
+
+TEST(CarbonLedger, WeightedMetricsNeedHourlyFlows) {
+  const CarbonLedger ledger(fabricated_result(), baliga_params());
+  EXPECT_TRUE(ledger.hourly_flows().empty());
+  const auto& flat = IntensityRegistry::instance().get(kFlatIntensityName);
+  EXPECT_THROW((void)ledger.total_credits_gco2(flat), InvalidArgument);
+  EXPECT_THROW((void)ledger.weighted_system_cct(flat), InvalidArgument);
+}
+
+TEST(CarbonLedger, WeightedTotalsMatchHandComputedGrams) {
+  // Two hours with different flows; a custom two-level curve. Credits
+  // gCO₂ = Σ_h I_h · (PUE·γs·U_h in kWh).
+  const auto params = valancius_params();
+  SimResult result;
+  result.hourly.assign(2, std::vector<TrafficBreakdown>(1));
+  result.hourly[0][0].server = Bits{6e9};
+  result.hourly[0][0].peer[0] = Bits{2e9};
+  result.hourly[1][0].server = Bits{1e9};
+  result.hourly[1][0].peer[1] = Bits{4e9};
+  std::array<double, 24> hours{};
+  hours.fill(100.0);
+  hours[1] = 400.0;
+  const IntensityCurve curve("two_level", hours);
+
+  const CarbonLedger ledger(result, params);
+  ASSERT_EQ(ledger.hourly_flows().size(), 2u);
+  EXPECT_DOUBLE_EQ(ledger.hourly_flows()[0].delivered.value(), 8e9);
+  EXPECT_DOUBLE_EQ(ledger.hourly_flows()[0].peer.value(), 2e9);
+  EXPECT_DOUBLE_EQ(ledger.hourly_flows()[1].peer.value(), 4e9);
+
+  const double expected_credits =
+      100.0 * credit_energy(Bits{2e9}, params).kwh() +
+      400.0 * credit_energy(Bits{4e9}, params).kwh();
+  const double expected_user =
+      100.0 * user_energy(Bits{8e9}, Bits{2e9}, params).kwh() +
+      400.0 * user_energy(Bits{5e9}, Bits{4e9}, params).kwh();
+  EXPECT_NEAR(ledger.total_credits_gco2(curve), expected_credits, 1e-12);
+  EXPECT_NEAR(ledger.total_user_gco2(curve), expected_user, 1e-12);
+  EXPECT_NEAR(ledger.weighted_system_cct(curve),
+              (expected_credits - expected_user) / expected_user, 1e-12);
+}
+
+TEST(CarbonLedger, FlatCurveWeightedCctMatchesUnweighted) {
+  // The backward-compatibility contract: under a constant curve the
+  // intensity cancels out of the CCT ratio.
+  TraceConfig tc;
+  tc.days = 2;
+  tc.users = 1500;
+  tc.exemplar_views = {15000};
+  tc.catalogue_tail = 80;
+  tc.tail_views = 4000;
+  const Trace trace = TraceGenerator(tc, metro()).generate();
+  const auto result = HybridSimulator(metro(), SimConfig{}).run(trace);
+  const auto& flat = IntensityRegistry::instance().get(kFlatIntensityName);
+  for (const auto& params : standard_params()) {
+    const CarbonLedger ledger(result, params);
+    ASSERT_FALSE(ledger.hourly_flows().empty());
+    EXPECT_NEAR(ledger.weighted_system_cct(flat), ledger.system_cct(), 1e-9);
+    // Absolute grams are the kWh totals times the constant intensity
+    // (hourly flows cover the same bytes the per-user entries do).
+    EXPECT_NEAR(ledger.total_credits_gco2(flat),
+                ledger.total_credits().kwh() * flat.at_hour(0),
+                1e-9 * ledger.total_credits_gco2(flat));
+    EXPECT_NEAR(ledger.total_user_gco2(flat),
+                ledger.total_user_energy().kwh() * flat.at_hour(0),
+                1e-9 * ledger.total_user_gco2(flat));
+  }
 }
 
 TEST(CarbonLedger, SimulationEndToEnd) {

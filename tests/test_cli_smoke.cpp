@@ -318,4 +318,91 @@ TEST(CliSmoke, PlanReportsMetro) {
   EXPECT_NE(result.output.find("metro us_sparse"), std::string::npos);
 }
 
+// -------------------------------------------------------- --intensity flag
+
+/// True when every line of `needle` appears in `haystack` in order (the
+/// carbon sections only *add* lines, never change existing ones).
+bool lines_are_ordered_subsequence(const std::string& needle,
+                                   const std::string& haystack) {
+  std::istringstream n(needle), h(haystack);
+  std::string want, have;
+  while (std::getline(n, want)) {
+    bool found = false;
+    while (std::getline(h, have)) {
+      if (have == want) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+TEST(CliSmoke, HelpListsIntensityPresets) {
+  const RunResult result = run_cli("--help");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("--intensity"), std::string::npos);
+  for (const char* preset :
+       {"flat", "uk_2018", "us_caiso", "nordic_hydro"}) {
+    EXPECT_NE(result.output.find(preset), std::string::npos) << preset;
+  }
+}
+
+TEST(CliSmoke, LedgerRejectsUnknownIntensityListingValidNames) {
+  const RunResult result = run_cli("ledger --days 1 --intensity vacuum");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("unknown intensity preset 'vacuum'"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("uk_2018"), std::string::npos);
+  EXPECT_NE(result.output.find("flat"), std::string::npos);
+}
+
+TEST(CliSmoke, LedgerFlatIntensityReproducesUnweightedNumbers) {
+  // The backward-compatibility pin: --intensity flat must only *add*
+  // carbon output — every line of the unweighted ledger report survives
+  // byte for byte.
+  const std::string trace = temp_trace_path() + ".intensity";
+  const RunResult gen = run_cli("generate --out " + trace +
+                                " --preset small --days 1 --seed 13 --quiet");
+  ASSERT_EQ(gen.exit_code, 0) << gen.output;
+  const RunResult without = run_cli("ledger --trace " + trace);
+  const RunResult with =
+      run_cli("ledger --trace " + trace + " --intensity flat");
+  ASSERT_EQ(without.exit_code, 0) << without.output;
+  ASSERT_EQ(with.exit_code, 0) << with.output;
+  EXPECT_TRUE(lines_are_ordered_subsequence(without.output, with.output))
+      << "without:\n" << without.output << "\nwith:\n" << with.output;
+  EXPECT_NE(with.output.find("weighted system CCT"), std::string::npos);
+  EXPECT_NE(with.output.find("kgCO2"), std::string::npos);
+  std::filesystem::remove(trace);
+}
+
+TEST(CliSmoke, SimulateFlatIntensityAppendsCarbonSection) {
+  const std::string trace = temp_trace_path() + ".simintensity";
+  const RunResult gen = run_cli("generate --out " + trace +
+                                " --preset small --days 1 --seed 13 --quiet");
+  ASSERT_EQ(gen.exit_code, 0) << gen.output;
+  const RunResult without = run_cli("simulate --trace " + trace);
+  const RunResult with =
+      run_cli("simulate --trace " + trace + " --intensity flat");
+  ASSERT_EQ(without.exit_code, 0) << without.output;
+  ASSERT_EQ(with.exit_code, 0) << with.output;
+  // The carbon table is appended: the unweighted report is a strict
+  // byte prefix.
+  ASSERT_GE(with.output.size(), without.output.size());
+  EXPECT_EQ(with.output.substr(0, without.output.size()), without.output);
+  EXPECT_NE(with.output.find("carbon savings"), std::string::npos);
+  std::filesystem::remove(trace);
+}
+
+TEST(CliSmoke, ModelIntensityMetroKeywordFollowsMetroPairing) {
+  const RunResult result =
+      run_cli("model --capacity 50 --metro us_sparse --intensity metro");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  // us_sparse pairs with the CAISO duck curve.
+  EXPECT_NE(result.output.find("us_caiso"), std::string::npos);
+  EXPECT_NE(result.output.find("gCO2/GB"), std::string::npos);
+}
+
 }  // namespace

@@ -179,9 +179,15 @@ TEST(HybridSim, ConservationOnRealisticTrace) {
   for (const auto& s : result.swarms) swarm_sum += s.traffic;
   EXPECT_NEAR(swarm_sum.total().value(), result.total.total().value(), 1.0);
 
-  // (3) Daily totals must add up to the grand total.
+  // (3) Hourly totals must add up to the grand total (and the derived
+  // daily view must agree with them).
+  TrafficBreakdown hourly_sum;
+  for (const auto& hour : result.hourly) {
+    for (const auto& t : hour) hourly_sum += t;
+  }
+  EXPECT_NEAR(hourly_sum.total().value(), result.total.total().value(), 1.0);
   TrafficBreakdown daily_sum;
-  for (const auto& day : result.daily) {
+  for (const auto& day : result.daily_grid()) {
     for (const auto& t : day) daily_sum += t;
   }
   EXPECT_NEAR(daily_sum.total().value(), result.total.total().value(), 1.0);
@@ -206,7 +212,7 @@ TEST(HybridSim, CollectTogglesOnlyDropMetrics) {
   tc.tail_views = 3000;
   const Trace trace = TraceGenerator(tc, metro()).generate();
   SimConfig lean;
-  lean.collect_per_day = false;
+  lean.collect_hourly = false;
   lean.collect_per_user = false;
   lean.collect_swarms = false;
   const auto full = HybridSimulator(metro(), SimConfig{}).run(trace);
@@ -216,7 +222,8 @@ TEST(HybridSim, CollectTogglesOnlyDropMetrics) {
               full.total.peer_total().value(), 1.0);
   EXPECT_TRUE(slim.swarms.empty());
   EXPECT_TRUE(slim.users.empty());
-  EXPECT_TRUE(slim.daily.empty());
+  EXPECT_TRUE(slim.hourly.empty());
+  EXPECT_TRUE(slim.daily_grid().empty());
 }
 
 TEST(HybridSim, MeasuredCapacityMatchesLittlesLaw) {
@@ -306,29 +313,56 @@ TEST(HybridSim, CapacityMatcherPoolsUploadersBelowFullRatio) {
             r_exist.total.offload_fraction());
 }
 
-TEST(HybridSim, DailyTrafficLandsOnCorrectDays) {
+TEST(HybridSim, HourlyTrafficLandsOnCorrectHours) {
   HybridSimulator sim(metro(), SimConfig{});
-  // One session on day 0, one on day 2, same user/content/isp.
+  // One session in hour 0 of day 0, one in hour 0 of day 2.
   const auto result = sim.run(make_trace(
       {session(0, 0, 1000.0, 600.0, 2, 7),
        session(1, 0, 2 * 86400.0 + 1000.0, 600.0, 2, 7)},
       3 * 86400.0));
-  ASSERT_EQ(result.daily.size(), 3u);
-  EXPECT_GT(result.daily[0][2].total().value(), 0.0);
-  EXPECT_DOUBLE_EQ(result.daily[1][2].total().value(), 0.0);
-  EXPECT_GT(result.daily[2][2].total().value(), 0.0);
-  EXPECT_DOUBLE_EQ(result.daily[0][0].total().value(), 0.0);
+  ASSERT_EQ(result.hourly.size(), 72u);
+  EXPECT_GT(result.hourly[0][2].total().value(), 0.0);
+  EXPECT_DOUBLE_EQ(result.hourly[1][2].total().value(), 0.0);
+  EXPECT_GT(result.hourly[48][2].total().value(), 0.0);
+  EXPECT_DOUBLE_EQ(result.hourly[0][0].total().value(), 0.0);
+  // The derived daily view groups 24 hour rows per day.
+  const auto daily = result.daily_grid();
+  ASSERT_EQ(daily.size(), 3u);
+  EXPECT_GT(daily[0][2].total().value(), 0.0);
+  EXPECT_DOUBLE_EQ(daily[1][2].total().value(), 0.0);
+  EXPECT_GT(daily[2][2].total().value(), 0.0);
+  EXPECT_DOUBLE_EQ(daily[0][0].total().value(), 0.0);
+}
+
+TEST(HybridSim, SessionSpanningHourBoundarySplitsAcrossHours) {
+  HybridSimulator sim(metro(), SimConfig{});
+  // 600 s session centred on the first hour boundary.
+  const auto result = sim.run(
+      make_trace({session(0, 0, 3600.0 - 300.0, 600.0, 0, 7)}, 86400.0));
+  ASSERT_EQ(result.hourly.size(), 24u);
+  const double h0 = result.hourly[0][0].total().value();
+  const double h1 = result.hourly[1][0].total().value();
+  EXPECT_NEAR(h0, h1, 1e-3);
+  EXPECT_NEAR(h0 + h1, 1.5e6 * 600.0, 1e-3);
+  for (std::size_t h = 2; h < result.hourly.size(); ++h) {
+    EXPECT_DOUBLE_EQ(result.hourly[h][0].total().value(), 0.0);
+  }
 }
 
 TEST(HybridSim, SessionSpanningMidnightSplitsAcrossDays) {
   HybridSimulator sim(metro(), SimConfig{});
   const auto result = sim.run(make_trace(
       {session(0, 0, 86400.0 - 300.0, 600.0, 0, 7)}, 2 * 86400.0));
-  ASSERT_EQ(result.daily.size(), 2u);
-  const double d0 = result.daily[0][0].total().value();
-  const double d1 = result.daily[1][0].total().value();
+  ASSERT_EQ(result.hourly.size(), 48u);
+  const auto daily = result.daily_grid();
+  ASSERT_EQ(daily.size(), 2u);
+  const double d0 = daily[0][0].total().value();
+  const double d1 = daily[1][0].total().value();
   EXPECT_NEAR(d0, d1, 1e-3);
   EXPECT_NEAR(d0 + d1, 1.5e6 * 600.0, 1e-3);
+  // The split lands in the last hour of day 0 and the first of day 1.
+  EXPECT_NEAR(result.hourly[23][0].total().value(), d0, 1e-9);
+  EXPECT_NEAR(result.hourly[24][0].total().value(), d1, 1e-9);
 }
 
 TEST(HybridSim, DeterministicAcrossRuns) {

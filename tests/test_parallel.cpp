@@ -200,7 +200,7 @@ TEST(ParallelChunkedReduce, StatefulVariantReusesWorkerState) {
   }
 }
 
-/// Exact-equality comparison of two full SimResults (total, daily grids,
+/// Exact-equality comparison of two full SimResults (total, hourly grids,
 /// per-user map, per-swarm entries) — the simulator's bit-identity
 /// contract across thread counts.
 void expect_sim_result_identical(const SimResult& a, const SimResult& b) {
@@ -211,16 +211,16 @@ void expect_sim_result_identical(const SimResult& a, const SimResult& b) {
     EXPECT_EQ(a.total.peer[l].value(), b.total.peer[l].value());
   }
 
-  ASSERT_EQ(a.daily.size(), b.daily.size());
-  for (std::size_t d = 0; d < a.daily.size(); ++d) {
-    ASSERT_EQ(a.daily[d].size(), b.daily[d].size());
-    for (std::size_t i = 0; i < a.daily[d].size(); ++i) {
-      EXPECT_EQ(a.daily[d][i].server.value(), b.daily[d][i].server.value());
-      EXPECT_EQ(a.daily[d][i].cross_isp.value(),
-                b.daily[d][i].cross_isp.value());
+  ASSERT_EQ(a.hourly.size(), b.hourly.size());
+  for (std::size_t h = 0; h < a.hourly.size(); ++h) {
+    ASSERT_EQ(a.hourly[h].size(), b.hourly[h].size());
+    for (std::size_t i = 0; i < a.hourly[h].size(); ++i) {
+      EXPECT_EQ(a.hourly[h][i].server.value(), b.hourly[h][i].server.value());
+      EXPECT_EQ(a.hourly[h][i].cross_isp.value(),
+                b.hourly[h][i].cross_isp.value());
       for (std::size_t l = 0; l < kLocalityLevels; ++l) {
-        EXPECT_EQ(a.daily[d][i].peer[l].value(),
-                  b.daily[d][i].peer[l].value());
+        EXPECT_EQ(a.hourly[h][i].peer[l].value(),
+                  b.hourly[h][i].peer[l].value());
       }
     }
   }
@@ -347,12 +347,12 @@ TEST(SimResultMerge, SumsConcatenatesAndFolds) {
   b.total.peer[0] = Bits{5.0};
   b.total.cross_isp = Bits{3.0};
 
-  // Differently sized daily grids: merge grows to the larger shape.
-  a.daily.assign(1, std::vector<TrafficBreakdown>(2));
-  a.daily[0][1].server = Bits{11.0};
-  b.daily.assign(2, std::vector<TrafficBreakdown>(2));
-  b.daily[0][1].server = Bits{2.0};
-  b.daily[1][0].server = Bits{9.0};
+  // Differently sized hourly grids: merge grows to the larger shape.
+  a.hourly.assign(1, std::vector<TrafficBreakdown>(2));
+  a.hourly[0][1].server = Bits{11.0};
+  b.hourly.assign(2, std::vector<TrafficBreakdown>(2));
+  b.hourly[0][1].server = Bits{2.0};
+  b.hourly[1][0].server = Bits{9.0};
 
   a.users[7] = {Bits{10.0}, Bits{1.0}};
   b.users[7] = {Bits{20.0}, Bits{2.0}};
@@ -369,9 +369,9 @@ TEST(SimResultMerge, SumsConcatenatesAndFolds) {
   EXPECT_EQ(a.total.server.value(), 123.0);
   EXPECT_EQ(a.total.peer[0].value(), 12.0);
   EXPECT_EQ(a.total.cross_isp.value(), 3.0);
-  ASSERT_EQ(a.daily.size(), 2u);
-  EXPECT_EQ(a.daily[0][1].server.value(), 13.0);
-  EXPECT_EQ(a.daily[1][0].server.value(), 9.0);
+  ASSERT_EQ(a.hourly.size(), 2u);
+  EXPECT_EQ(a.hourly[0][1].server.value(), 13.0);
+  EXPECT_EQ(a.hourly[1][0].server.value(), 9.0);
   ASSERT_EQ(a.users.size(), 2u);
   EXPECT_EQ(a.users[7].downloaded.value(), 30.0);
   EXPECT_EQ(a.users[7].uploaded.value(), 3.0);
@@ -384,14 +384,14 @@ TEST(SimResultMerge, SumsConcatenatesAndFolds) {
 TEST(SimResultMerge, MergingEmptyPartialIsIdentity) {
   SimResult a;
   a.total.server = Bits{42.0};
-  a.daily.assign(1, std::vector<TrafficBreakdown>(1));
-  a.daily[0][0].server = Bits{42.0};
+  a.hourly.assign(1, std::vector<TrafficBreakdown>(1));
+  a.hourly[0][0].server = Bits{42.0};
   a.users[1] = {Bits{42.0}, Bits{0.0}};
   const SimResult empty;
   a.merge(empty);
   EXPECT_EQ(a.total.server.value(), 42.0);
-  ASSERT_EQ(a.daily.size(), 1u);
-  EXPECT_EQ(a.daily[0][0].server.value(), 42.0);
+  ASSERT_EQ(a.hourly.size(), 1u);
+  EXPECT_EQ(a.hourly[0][0].server.value(), 42.0);
   EXPECT_EQ(a.users.size(), 1u);
   EXPECT_TRUE(a.swarms.empty());
 }

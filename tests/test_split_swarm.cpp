@@ -93,7 +93,7 @@ TEST(SplitSwarm, MatchesSimulatorOnPartitionedPoissonSwarm) {
   const double capacity = watch / trace.span.value();
 
   SimConfig sim_config;
-  sim_config.collect_per_day = false;
+  sim_config.collect_hourly = false;
   sim_config.collect_per_user = false;
   sim_config.collect_swarms = false;
   const auto result = HybridSimulator(metro(), sim_config).run(trace);

@@ -815,12 +815,12 @@ TEST(TraceBinaryDeterminism, SimResultBitIdenticalMmapVsCsvAcrossThreads) {
       EXPECT_EQ(result.swarms[s].traffic.server.value(),
                 reference.swarms[s].traffic.server.value());
     }
-    ASSERT_EQ(result.daily.size(), reference.daily.size());
-    for (std::size_t d = 0; d < result.daily.size(); ++d) {
-      ASSERT_EQ(result.daily[d].size(), reference.daily[d].size());
-      for (std::size_t i = 0; i < result.daily[d].size(); ++i) {
-        EXPECT_EQ(result.daily[d][i].server.value(),
-                  reference.daily[d][i].server.value());
+    ASSERT_EQ(result.hourly.size(), reference.hourly.size());
+    for (std::size_t h = 0; h < result.hourly.size(); ++h) {
+      ASSERT_EQ(result.hourly[h].size(), reference.hourly[h].size());
+      for (std::size_t i = 0; i < result.hourly[h].size(); ++i) {
+        EXPECT_EQ(result.hourly[h][i].server.value(),
+                  reference.hourly[h][i].server.value());
       }
     }
     ASSERT_EQ(result.users.size(), reference.users.size());

