@@ -16,6 +16,7 @@
 #include "bench_json.h"
 #include "core/analyzer.h"
 #include "trace/trace_format.h"
+#include "trace/trace_view.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -34,25 +35,37 @@ int main(int argc, char** argv) {
                 "paper: ~30% (Valancius) / ~18% (Baliga) for the biggest "
                 "ISP, stable across the month");
 
-  Trace trace;
+  // Pregenerated `.cltrace` input is consumed zero-copy: the analyzer
+  // and simulator sweep the mmap'd column blocks directly, no
+  // row materialization at any point. CSV and generated workloads
+  // transpose into an owned SoA view once.
+  TraceView view;
   if (!trace_path.empty()) {
-    trace = read_trace_any(trace_path, TraceFormat::kAuto, run.threads());
-    std::cout << "workload: " << trace.size() << " sessions, "
-              << trace.span.value() / 86400.0 << " days, loaded from "
-              << trace_path << "\n\n";
+    if (sniff_trace_binary(trace_path)) {
+      view = TraceView::open_binary(trace_path, run.threads());
+    } else {
+      view = TraceView::from_trace(
+          read_trace_any(trace_path, TraceFormat::kAuto, run.threads()),
+          run.threads());
+    }
+    std::cout << "workload: " << view.size() << " sessions, "
+              << view.span().value() / 86400.0 << " days, loaded from "
+              << trace_path << (view.zero_copy() ? " (zero-copy)" : "")
+              << "\n\n";
   } else {
     TraceConfig config = paper_scale ? TraceConfig::london_month_paper()
                                      : TraceConfig::london_month_scaled();
     config.threads = run.threads();
     bench::print_trace_scale(config);
-    trace = TraceGenerator(config, bench::metro()).generate();
+    view = TraceView::from_trace(
+        TraceGenerator(config, bench::metro()).generate(), run.threads());
   }
-  run.set_items(static_cast<double>(trace.size()), "sessions");
+  run.set_items(static_cast<double>(view.size()), "sessions");
 
   SimConfig sim_config;
   sim_config.threads = run.threads();
   const Analyzer analyzer(bench::metro(), sim_config);
-  const auto report = analyzer.daily_report(trace);
+  const auto report = analyzer.daily_report(view);
 
   const std::size_t isps[] = {0, 3, 4};  // ISP-1, ISP-4, ISP-5 as in Fig. 4
   for (std::size_t m = 0; m < report.models.size(); ++m) {
@@ -99,7 +112,7 @@ int main(int argc, char** argv) {
 
   std::cout << "\nwhole-system headline (paper: 24-48% depending on model "
                "and factors):\n";
-  const auto outcomes = analyzer.aggregate(trace);
+  const auto outcomes = analyzer.aggregate(view);
   for (const auto& o : outcomes) {
     std::cout << "  " << o.model << ": sim " << fmt_pct(o.sim_savings)
               << ", theory " << fmt_pct(o.theory_savings) << ", offload G = "

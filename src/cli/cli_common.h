@@ -10,6 +10,7 @@
 #include "topology/placement.h"
 #include "trace/synthetic.h"
 #include "trace/trace_format.h"
+#include "trace/trace_view.h"
 #include "util/args.h"
 #include "util/error.h"
 
@@ -37,28 +38,33 @@ inline const Metro& metro_from_flag(const Args& args) {
 
 /// The metro a trace-consuming command should analyze with: an explicit
 /// --metro wins (with a warning when it contradicts the trace header),
-/// then the metro recorded in the trace, then the default. A trace
-/// stamped with a metro this build does not know is an error — analyzing
-/// it against the wrong tree would be silently wrong.
-inline const Metro& resolve_metro(const Args& args, const Trace& trace) {
+/// then the metro recorded in the trace (`trace_metro`, empty when
+/// unknown), then the default. A trace stamped with a metro this build
+/// does not know is an error — analyzing it against the wrong tree would
+/// be silently wrong.
+inline const Metro& resolve_metro(const Args& args,
+                                  const std::string& trace_metro) {
   if (args.has("metro")) {
     const std::string name = metro_flag(args);
-    if (!trace.metro_name.empty() && trace.metro_name != name) {
-      std::cerr << "warning: trace was generated for metro '"
-                << trace.metro_name << "'; analyzing with --metro " << name
-                << "\n";
+    if (!trace_metro.empty() && trace_metro != name) {
+      std::cerr << "warning: trace was generated for metro '" << trace_metro
+                << "'; analyzing with --metro " << name << "\n";
     }
     return metro_by_name(name);
   }
   const MetroRegistry& registry = MetroRegistry::instance();
-  if (!trace.metro_name.empty()) {
-    if (const Metro* metro = registry.find(trace.metro_name)) return *metro;
+  if (!trace_metro.empty()) {
+    if (const Metro* metro = registry.find(trace_metro)) return *metro;
     throw InvalidArgument("trace was generated for unknown metro '" +
-                          trace.metro_name + "' (valid: " +
+                          trace_metro + "' (valid: " +
                           registry.names_joined() +
                           "); pass --metro to pick the analysis topology");
   }
   return registry.get(kDefaultMetroName);
+}
+
+inline const Metro& resolve_metro(const Args& args, const Trace& trace) {
+  return resolve_metro(args, trace.metro_name);
 }
 
 /// The --intensity flag: absent → nullptr (no carbon section is
@@ -118,6 +124,27 @@ inline Trace load_or_generate(const Args& args) {
             << config.days << " days, seed " << config.seed << ", metro "
             << config.metro << ")\n";
   return TraceGenerator(config, metro_by_name(config.metro)).generate();
+}
+
+/// Columnar sibling of load_or_generate: `.cltrace` input is mapped and
+/// wrapped zero-copy (TraceView::open_binary — no row materialization at
+/// all); CSV input loads rows and transposes once; the no---trace
+/// fallback generates the same synthetic month and transposes it.
+inline TraceView load_view_or_generate(const Args& args) {
+  const unsigned threads = threads_from(args);
+  if (const auto path = args.get("trace")) {
+    TraceFormat format = trace_format_from(args);
+    if (format == TraceFormat::kAuto) {
+      format = sniff_trace_binary(*path) ? TraceFormat::kBinary
+                                         : TraceFormat::kCsv;
+    }
+    if (format == TraceFormat::kBinary) {
+      return TraceView::open_binary(*path, threads);
+    }
+    return TraceView::from_trace(
+        read_trace_any(*path, TraceFormat::kCsv, threads), threads);
+  }
+  return TraceView::from_trace(load_or_generate(args), threads);
 }
 
 /// Builds the simulator configuration from the shared flags.

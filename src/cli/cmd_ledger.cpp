@@ -47,7 +47,10 @@ commands:
   simulate  [--trace PATH] [--metro NAME] [--format auto|csv|binary]
             [--qb R] [--cross-isp] [--mixed-bitrate]
             [--matcher existence|capacity] [--intensity NAME] [--threads N]
+            [--timing]
                                   aggregate hybrid-vs-CDN savings report
+                                  (--timing adds load/group/sweep/merge
+                                   wall-time lines)
   swarm     [--trace PATH] --content ID [--isp I] [--metro NAME] [--qb R]
                                   one swarm, simulation vs closed form
   model     [--capacity C] [--qb R] [--metro NAME] [--intensity NAME]

@@ -1,4 +1,6 @@
 // cmd_simulate — aggregate hybrid-vs-CDN savings over a trace.
+#include <chrono>
+#include <cstdio>
 #include <iostream>
 
 #include "cli/cli_common.h"
@@ -8,31 +10,61 @@
 
 namespace cl::cli {
 
+namespace {
+
+void print_timing(std::ostream& out, const char* label, double seconds) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "timing: %-6s %9.3f s", label,
+                seconds);
+  out << buffer << "\n";
+}
+
+}  // namespace
+
 int cmd_simulate(const Args& args) {
   validate_intensity_flag(args);
-  const Trace trace = load_or_generate(args);
-  const Metro& metro = resolve_metro(args, trace);
+  const bool want_timing = args.has("timing");
+  using Clock = std::chrono::steady_clock;
+
+  // `.cltrace` input maps zero-copy — the simulator consumes the file's
+  // column blocks directly, so "load" is just mmap + column validation.
+  const auto load_start = Clock::now();
+  const TraceView view = load_view_or_generate(args);
+  const double load_seconds =
+      std::chrono::duration<double>(Clock::now() - load_start).count();
+
+  const Metro& metro = resolve_metro(args, view.metro_name());
   const IntensityCurve* intensity = intensity_from(args, metro.name());
   const Analyzer analyzer(metro, sim_config_from(args));
-  std::cout << "\nsessions: " << trace.size() << ", span "
-            << trace.span.value() / 86400.0 << " days, metro "
+  std::cout << "\nsessions: " << view.size() << ", span "
+            << view.span().value() / 86400.0 << " days, metro "
             << metro.name() << "\n\n";
+
+  // One simulator run feeds every report flavour: the swarms the
+  // aggregate's theory column needs, plus (with --intensity) the hourly
+  // grid the carbon weighting needs.
+  SimConfig config = analyzer.sim_config();
+  config.collect_swarms = true;
+  config.collect_hourly = intensity != nullptr;
+  config.collect_per_user = false;
+  SimPhaseTiming timing;
+  const SimResult result = HybridSimulator(metro, config)
+                               .run(view, want_timing ? &timing : nullptr);
+
+  if (want_timing) {
+    print_timing(std::cout, "load", load_seconds);
+    print_timing(std::cout, "group", timing.group_seconds);
+    print_timing(std::cout, "sweep", timing.sweep_seconds);
+    print_timing(std::cout, "merge", timing.merge_seconds);
+    std::cout << "\n";
+  }
+
+  print_aggregate(std::cout, analyzer.aggregate(result));
   if (intensity) {
-    // One simulator run feeds both reports: collect the swarms the
-    // aggregate's theory column needs *and* the hourly grid the carbon
-    // weighting needs.
-    SimConfig config = analyzer.sim_config();
-    config.collect_swarms = true;
-    config.collect_hourly = true;
-    config.collect_per_user = false;
-    const SimResult result = HybridSimulator(metro, config).run(trace);
-    print_aggregate(std::cout, analyzer.aggregate(result));
     std::cout << "\ncarbon under intensity " << intensity->name() << " (mean "
               << intensity->mean() << " gCO2/kWh, min " << intensity->min()
               << ", max " << intensity->max() << "):\n";
     print_carbon_report(std::cout, analyzer.carbon_report(result, *intensity));
-  } else {
-    print_aggregate(std::cout, analyzer.aggregate(trace));
   }
   return 0;
 }

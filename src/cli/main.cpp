@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   using namespace cl::cli;
   try {
     const Args args = Args::parse(
-        argc, argv, {"cross-isp", "mixed-bitrate", "help", "quiet"});
+        argc, argv, {"cross-isp", "mixed-bitrate", "help", "quiet", "timing"});
     if (args.has("help")) return usage(0);
     const std::string& command = args.command();
     int code = 0;

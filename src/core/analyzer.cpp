@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "trace/trace_view.h"
 #include "util/error.h"
 #include "util/parallel.h"
 
@@ -28,6 +29,17 @@ struct KeyDayHash {
   }
 };
 
+/// Column-wise swarm_key_for: same key the simulator groups by, read from
+/// the view's columns instead of a SessionRecord.
+SwarmKey swarm_key_at(const TraceView& view, std::size_t i,
+                      const SimConfig& config) {
+  SwarmKey key;
+  key.content = view.content()[i];
+  if (config.isp_friendly) key.isp = view.isp()[i];
+  if (config.split_by_bitrate) key.bitrate = view.bitrate()[i];
+  return key;
+}
+
 }  // namespace
 
 Analyzer::Analyzer(const Metro& metro, SimConfig sim_config,
@@ -37,8 +49,12 @@ Analyzer::Analyzer(const Metro& metro, SimConfig sim_config,
   for (const auto& m : models_) m.validate();
 }
 
+SimResult Analyzer::simulate(const TraceView& view) const {
+  return HybridSimulator(*metro_, sim_config_).run(view);
+}
+
 SimResult Analyzer::simulate(const Trace& trace) const {
-  return HybridSimulator(*metro_, sim_config_).run(trace);
+  return simulate(TraceView::from_trace(trace, sim_config_.threads));
 }
 
 SavingsModel Analyzer::savings_model(std::size_t model_index,
@@ -47,20 +63,20 @@ SavingsModel Analyzer::savings_model(std::size_t model_index,
   return SavingsModel(models_[model_index], metro_->isp(isp_index));
 }
 
-SwarmExperiment Analyzer::analyze_swarm(const Trace& trace,
+SwarmExperiment Analyzer::analyze_swarm(const TraceView& view,
                                         std::size_t isp_for_theory) const {
   SimConfig config = sim_config_;
   config.collect_hourly = false;
   config.collect_per_user = false;
   config.collect_swarms = false;
-  const SimResult result = HybridSimulator(*metro_, config).run(trace);
+  const SimResult result = HybridSimulator(*metro_, config).run(view);
 
   SwarmExperiment experiment;
-  experiment.sessions = trace.sessions.size();
+  experiment.sessions = view.size();
   double watch = 0;
-  for (const auto& s : trace.sessions) watch += s.duration;
-  experiment.capacity =
-      trace.span.value() > 0 ? watch / trace.span.value() : 0;
+  for (const double d : view.duration()) watch += d;
+  experiment.capacity = view.span().value() > 0 ? watch / view.span().value()
+                                                : 0;
 
   for (std::size_t m = 0; m < models_.size(); ++m) {
     const SavingsModel model = savings_model(m, isp_for_theory);
@@ -78,11 +94,21 @@ SwarmExperiment Analyzer::analyze_swarm(const Trace& trace,
   return experiment;
 }
 
+SwarmExperiment Analyzer::analyze_swarm(const Trace& trace,
+                                        std::size_t isp_for_theory) const {
+  return analyze_swarm(TraceView::from_trace(trace, sim_config_.threads),
+                       isp_for_theory);
+}
+
 std::vector<std::vector<std::vector<double>>> Analyzer::theory_daily(
-    const Trace& trace) const {
+    const TraceView& view) const {
   const auto days = std::max<std::size_t>(
-      1, static_cast<std::size_t>(std::ceil(trace.span.value() / 86400.0)));
+      1, static_cast<std::size_t>(std::ceil(view.span().value() / 86400.0)));
   const std::size_t isps = metro_->isp_count();
+  const std::span<const std::uint32_t> isp = view.isp();
+  const std::span<const std::uint8_t> bitrate = view.bitrate();
+  const std::span<const double> start = view.start();
+  const std::span<const double> duration = view.duration();
 
   // Pass 1: watch-seconds per (swarm, day) -> per-swarm daily capacity.
   // Sharded fixed-chunk reduction: each chunk builds a private map, chunks
@@ -90,14 +116,12 @@ std::vector<std::vector<std::vector<double>>> Analyzer::theory_daily(
   // same order regardless of SimConfig::threads.
   using WatchMap = std::unordered_map<KeyDay, double, KeyDayHash>;
   const WatchMap watch = parallel_chunked_reduce(
-      trace.sessions.size(), sim_config_.threads,
-      [] { return WatchMap{}; },
+      view.size(), sim_config_.threads, [] { return WatchMap{}; },
       [&](WatchMap& acc, std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
-          const auto& s = trace.sessions[i];
-          const SwarmKey key = swarm_key_for(s, sim_config_);
-          const auto day = static_cast<std::uint32_t>(s.start / 86400.0);
-          acc[KeyDay{key.packed(), day}] += s.duration;
+          const SwarmKey key = swarm_key_at(view, i, sim_config_);
+          const auto day = static_cast<std::uint32_t>(start[i] / 86400.0);
+          acc[KeyDay{key.packed(), day}] += duration[i];
         }
       },
       [](WatchMap& total, const WatchMap& chunk) {
@@ -123,7 +147,7 @@ std::vector<std::vector<std::vector<double>>> Analyzer::theory_daily(
     std::vector<std::vector<double>> den;
   };
   auto [num, den] = parallel_chunked_reduce(
-      trace.sessions.size(), sim_config_.threads,
+      view.size(), sim_config_.threads,
       [&] {
         return DailyGrid{
             std::vector(models_.size(),
@@ -132,17 +156,20 @@ std::vector<std::vector<std::vector<double>>> Analyzer::theory_daily(
       },
       [&](DailyGrid& acc, std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
-          const auto& s = trace.sessions[i];
-          const SwarmKey key = swarm_key_for(s, sim_config_);
-          const auto day = static_cast<std::uint32_t>(s.start / 86400.0);
+          const SwarmKey key = swarm_key_at(view, i, sim_config_);
+          const auto day = static_cast<std::uint32_t>(start[i] / 86400.0);
           const double capacity =
               watch.at(KeyDay{key.packed(), day}) / 86400.0;
-          const double volume = s.volume().value();
-          acc.den[day][s.isp] += volume;
+          // β · duration — the same operand order as SessionRecord::volume.
+          const double volume =
+              (bitrate_of(static_cast<BitrateClass>(bitrate[i])) *
+               Seconds{duration[i]})
+                  .value();
+          acc.den[day][isp[i]] += volume;
           for (std::size_t m = 0; m < models_.size(); ++m) {
-            const double savings = model_grid[m][s.isp].savings(
+            const double savings = model_grid[m][isp[i]].savings(
                 capacity, sim_config_.q_over_beta);
-            acc.num[m][day][s.isp] += savings * volume;
+            acc.num[m][day][isp[i]] += savings * volume;
           }
         }
       },
@@ -170,15 +197,15 @@ std::vector<std::vector<std::vector<double>>> Analyzer::theory_daily(
   return num;
 }
 
-DailyReport Analyzer::daily_report(const Trace& trace) const {
+DailyReport Analyzer::daily_report(const TraceView& view) const {
   SimConfig config = sim_config_;
   config.collect_hourly = true;
   config.collect_per_user = false;
   config.collect_swarms = false;
-  const SimResult result = HybridSimulator(*metro_, config).run(trace);
+  const SimResult result = HybridSimulator(*metro_, config).run(view);
 
   DailyReport report;
-  report.theory = theory_daily(trace);
+  report.theory = theory_daily(view);
   for (const auto& params : models_) {
     report.models.push_back(params.name);
     const EnergyAccountant accountant{CostFunctions(params)};
@@ -187,12 +214,16 @@ DailyReport Analyzer::daily_report(const Trace& trace) const {
   return report;
 }
 
-SwarmDistributions Analyzer::swarm_distributions(const Trace& trace) const {
+DailyReport Analyzer::daily_report(const Trace& trace) const {
+  return daily_report(TraceView::from_trace(trace, sim_config_.threads));
+}
+
+SwarmDistributions Analyzer::swarm_distributions(const TraceView& view) const {
   SimConfig config = sim_config_;
   config.collect_hourly = false;
   config.collect_per_user = false;
   config.collect_swarms = true;
-  const SimResult result = HybridSimulator(*metro_, config).run(trace);
+  const SimResult result = HybridSimulator(*metro_, config).run(view);
 
   SwarmDistributions dist;
   const std::size_t swarms = result.swarms.size();
@@ -237,13 +268,24 @@ SwarmDistributions Analyzer::swarm_distributions(const Trace& trace) const {
   return dist;
 }
 
+SwarmDistributions Analyzer::swarm_distributions(const Trace& trace) const {
+  return swarm_distributions(
+      TraceView::from_trace(trace, sim_config_.threads));
+}
+
 std::vector<CarbonOutcome> Analyzer::carbon_report(
-    const Trace& trace, const IntensityCurve& curve) const {
+    const TraceView& view, const IntensityCurve& curve) const {
   SimConfig config = sim_config_;
   config.collect_hourly = true;
   config.collect_per_user = false;
   config.collect_swarms = false;
-  return carbon_report(HybridSimulator(*metro_, config).run(trace), curve);
+  return carbon_report(HybridSimulator(*metro_, config).run(view), curve);
+}
+
+std::vector<CarbonOutcome> Analyzer::carbon_report(
+    const Trace& trace, const IntensityCurve& curve) const {
+  return carbon_report(TraceView::from_trace(trace, sim_config_.threads),
+                       curve);
 }
 
 std::vector<CarbonOutcome> Analyzer::carbon_report(
@@ -266,12 +308,16 @@ std::vector<CarbonOutcome> Analyzer::carbon_report(
   return outcomes;
 }
 
-std::vector<AggregateOutcome> Analyzer::aggregate(const Trace& trace) const {
+std::vector<AggregateOutcome> Analyzer::aggregate(const TraceView& view) const {
   SimConfig config = sim_config_;
   config.collect_hourly = false;
   config.collect_per_user = false;
   config.collect_swarms = true;
-  return aggregate(HybridSimulator(*metro_, config).run(trace));
+  return aggregate(HybridSimulator(*metro_, config).run(view));
+}
+
+std::vector<AggregateOutcome> Analyzer::aggregate(const Trace& trace) const {
+  return aggregate(TraceView::from_trace(trace, sim_config_.threads));
 }
 
 std::vector<AggregateOutcome> Analyzer::aggregate(

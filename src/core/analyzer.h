@@ -87,23 +87,36 @@ class Analyzer {
     return models_;
   }
 
-  /// Runs the simulator on a trace (convenience passthrough).
+  /// Runs the simulator on a trace view (convenience passthrough). The
+  /// columnar entry points below are the engine; every `const Trace&`
+  /// overload is a thin wrapper that transposes the rows into an owned
+  /// SoA view once (TraceView::from_trace) — `.cltrace` input should be
+  /// opened with TraceView::open_binary so analysis runs directly on the
+  /// mmap'd columns.
+  [[nodiscard]] SimResult simulate(const TraceView& view) const;
   [[nodiscard]] SimResult simulate(const Trace& trace) const;
 
   /// Analyzes one swarm (the trace should be pre-filtered to one content
   /// item, and to one ISP when the theory comparison should use that ISP's
   /// tree — `isp_for_theory` selects which tree the closed form uses).
+  [[nodiscard]] SwarmExperiment analyze_swarm(const TraceView& view,
+                                              std::size_t isp_for_theory) const;
   [[nodiscard]] SwarmExperiment analyze_swarm(const Trace& trace,
                                               std::size_t isp_for_theory) const;
 
   /// Fig. 4 series: per-day, per-ISP savings, simulation vs theory.
+  [[nodiscard]] DailyReport daily_report(const TraceView& view) const;
   [[nodiscard]] DailyReport daily_report(const Trace& trace) const;
 
   /// Fig. 3 samples: per-swarm capacity and savings across the catalogue.
   [[nodiscard]] SwarmDistributions swarm_distributions(
+      const TraceView& view) const;
+  [[nodiscard]] SwarmDistributions swarm_distributions(
       const Trace& trace) const;
 
   /// Whole-trace headline numbers per energy model.
+  [[nodiscard]] std::vector<AggregateOutcome> aggregate(
+      const TraceView& view) const;
   [[nodiscard]] std::vector<AggregateOutcome> aggregate(
       const Trace& trace) const;
 
@@ -118,6 +131,8 @@ class Analyzer {
   /// the simulator with the hourly grid collected and weights each hour's
   /// energy by the intensity at consumption time (src/carbon/).
   [[nodiscard]] std::vector<CarbonOutcome> carbon_report(
+      const TraceView& view, const IntensityCurve& curve) const;
+  [[nodiscard]] std::vector<CarbonOutcome> carbon_report(
       const Trace& trace, const IntensityCurve& curve) const;
 
   /// Same, on an existing simulation result (must have been produced
@@ -130,9 +145,10 @@ class Analyzer {
                                            std::size_t isp_index) const;
 
  private:
-  /// Theory daily aggregation: capacity-weighted Eq. 12 per (day, isp).
+  /// Theory daily aggregation: capacity-weighted Eq. 12 per (day, isp),
+  /// computed column-wise from the view.
   [[nodiscard]] std::vector<std::vector<std::vector<double>>> theory_daily(
-      const Trace& trace) const;
+      const TraceView& view) const;
 
   const Metro* metro_;
   SimConfig sim_config_;

@@ -15,12 +15,23 @@
 // collected). This is exact, not an approximation, and reduces the cost
 // from O(windows × peers) to O(events × peers).
 //
+// Data path: the simulator consumes *columns* (trace/trace_view.h), not
+// rows. run(TraceView) is the engine — workers receive column index
+// ranges, gather each swarm's fields into contiguous scratch and sweep
+// (sim/swarm_sweep.h). run(Trace) is a convenience wrapper that
+// transposes the rows into an owned SoA view first; `.cltrace` input
+// should be opened as a view (TraceView::open_binary) so the sweep runs
+// directly on the mmap'd blocks with zero materialization. run_rows
+// keeps the historical row-structured path as the bit-identity reference
+// and bench baseline.
+//
 // Parallel execution: swarms are independent, so run() shards the
 // key-sorted swarm list across SimConfig::threads workers. Each worker
-// drives one reusable SwarmSweep (sim/swarm_sweep.h); per-chunk SimResult
-// partials merge in ascending swarm-key order, making the full result
-// bit-identical at every thread count (see DESIGN.md §"Parallel execution
-// model").
+// drives one reusable SwarmSweep; per-chunk SimResult partials are
+// first-touch allocated by their worker and merge in ascending swarm-key
+// order (socket-local pre-folds on multi-node hosts — util/parallel.h),
+// making the full result bit-identical at every thread count (see
+// DESIGN.md §"Parallel execution model").
 //
 // Traces loaded from the binary columnar format carry a persisted
 // swarm-key-sorted index (trace/swarm_index.h); under the default full
@@ -32,8 +43,17 @@
 #include "sim/sim_config.h"
 #include "topology/placement.h"
 #include "trace/session.h"
+#include "trace/trace_view.h"
 
 namespace cl {
+
+/// Wall-clock phase breakdown of one simulator run
+/// (`cl simulate --timing`).
+struct SimPhaseTiming {
+  double group_seconds = 0;  ///< metro-fit validation + swarm grouping
+  double sweep_seconds = 0;  ///< concurrent per-swarm sweep phase
+  double merge_seconds = 0;  ///< folding the per-chunk SimResult partials
+};
 
 /// Trace-driven hybrid-CDN simulator.
 class HybridSimulator {
@@ -44,13 +64,24 @@ class HybridSimulator {
 
   [[nodiscard]] const SimConfig& config() const { return config_; }
 
-  /// Simulates the whole trace: groups sessions into swarms, sweeps each
-  /// swarm on SimConfig::threads workers, and merges the per-swarm /
-  /// per-hour / per-user metrics deterministically. Throws
-  /// cl::InvalidArgument when the trace's ISP/exchange-point ids do not
-  /// fit this metro's trees (a trace replayed against the wrong metro —
-  /// see topology/metro_registry.h).
+  /// Simulates the whole trace from its columns: groups sessions into
+  /// swarms, sweeps each swarm on SimConfig::threads workers, and merges
+  /// the per-swarm / per-hour / per-user metrics deterministically.
+  /// Throws cl::InvalidArgument when the trace's ISP/exchange-point ids
+  /// do not fit this metro's trees (a trace replayed against the wrong
+  /// metro — see topology/metro_registry.h). `timing`, when non-null,
+  /// receives the group/sweep/merge wall-time split.
+  [[nodiscard]] SimResult run(const TraceView& view,
+                              SimPhaseTiming* timing = nullptr) const;
+
+  /// Convenience wrapper: transposes the row-structured trace into an
+  /// owned SoA view (one O(n) pass) and runs on the columns.
   [[nodiscard]] SimResult run(const Trace& trace) const;
+
+  /// The historical row-structured path (SessionRecord loads inside the
+  /// sweep loops, virtual Matcher dispatch) — bit-identical to run() and
+  /// kept as its oracle and as bench/micro_sweep's baseline.
+  [[nodiscard]] SimResult run_rows(const Trace& trace) const;
 
  private:
   const Metro* metro_;

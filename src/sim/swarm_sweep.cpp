@@ -19,6 +19,14 @@ void accumulate(TrafficBreakdown& tb, const PeerAllocation& al,
   tb.cross_isp += Bits{al.cross_isp_bits * windows};
 }
 
+/// Upper bound of the lazily grown hourly grid: a session ending past
+/// the span (corrupt #span= header) must fail loudly, exactly as the
+/// old span-sized-grid bounds check did.
+std::size_t hour_bound(double span_seconds) {
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(span_seconds / 3600.0)));
+}
+
 }  // namespace
 
 SwarmSweep::SwarmSweep(const Metro& metro, const SimConfig& config)
@@ -27,40 +35,17 @@ SwarmSweep::SwarmSweep(const Metro& metro, const SimConfig& config)
   CL_EXPECTS(config_.q_over_beta >= 0);
 }
 
-void SwarmSweep::sweep(SwarmKey key, std::span<const std::uint32_t> indices,
-                       const Trace& trace, SimResult& out) {
-  // The active-list bookkeeping packs session indices into int32_t slots;
-  // a pathological >2B-session swarm must fail loudly, not corrupt them.
-  CL_EXPECTS(indices.size() <= static_cast<std::size_t>(
-                                   std::numeric_limits<std::int32_t>::max()));
-  const double dt = config_.window.value();
-  // Upper bound of the lazily grown hourly grid: a session ending past
-  // trace.span (corrupt #span= header) must fail loudly, exactly as the
-  // old span-sized-grid bounds check did.
-  const auto max_hours = std::max<std::size_t>(
-      1, static_cast<std::size_t>(std::ceil(trace.span.value() / 3600.0)));
-
-  // Window-quantised join/leave events. Sessions shorter than one window
-  // are skipped: they never complete a full Δτ streaming step.
-  events_.clear();
-  events_.reserve(indices.size() * 2);
-  double watch_seconds = 0;
-  for (std::uint32_t g = 0; g < indices.size(); ++g) {
-    const SessionRecord& s = trace.sessions[indices[g]];
-    watch_seconds += s.duration;
-    const auto w_start = static_cast<std::uint64_t>(s.start / dt);
-    const auto w_end = static_cast<std::uint64_t>(s.end() / dt);
-    if (w_end <= w_start) continue;
-    events_.push_back({w_start, 1, g});
-    events_.push_back({w_end, 0, g});
-  }
+template <typename MakePeer, typename Allocate>
+void SwarmSweep::run_events(SwarmKey key, std::size_t session_count,
+                            double watch_seconds, double span_seconds,
+                            std::size_t max_hours, SimResult& out,
+                            MakePeer&& make_peer, Allocate&& allocate) {
   if (events_.empty()) {
     if (config_.collect_swarms) {
       SwarmResult swarm;
       swarm.key = key;
-      swarm.sessions = indices.size();
-      swarm.capacity =
-          trace.span.value() > 0 ? watch_seconds / trace.span.value() : 0;
+      swarm.sessions = session_count;
+      swarm.capacity = span_seconds > 0 ? watch_seconds / span_seconds : 0;
       out.swarms.push_back(swarm);
     }
     return;
@@ -72,8 +57,9 @@ void SwarmSweep::sweep(SwarmKey key, std::span<const std::uint32_t> indices,
               return a.idx < b.idx;
             });
 
+  const double dt = config_.window.value();
   active_.clear();
-  pos_.assign(indices.size(), -1);
+  pos_.assign(session_count, -1);
   TrafficBreakdown swarm_traffic;
 
   const auto process_span = [&](std::uint64_t w0, std::uint64_t w1) {
@@ -86,7 +72,7 @@ void SwarmSweep::sweep(SwarmKey key, std::span<const std::uint32_t> indices,
         seed = i;
       }
     }
-    matcher_->allocate(active_, seed, config_, alloc_);
+    allocate(std::span<const ActivePeer>(active_), seed);
     const auto total_windows = static_cast<double>(w1 - w0);
 
     for (std::size_t i = 0; i < active_.size(); ++i) {
@@ -129,17 +115,8 @@ void SwarmSweep::sweep(SwarmKey key, std::span<const std::uint32_t> indices,
     while (k < events_.size() && events_[k].window == cur_w) {
       const Event& e = events_[k];
       if (e.type == 1) {
-        const SessionRecord& s = trace.sessions[indices[e.idx]];
-        ActivePeer peer;
-        peer.session = e.idx;
-        peer.user = s.user;
-        peer.isp = s.isp;
-        peer.exp = s.exp;
-        peer.pop = metro_->isp(s.isp).pop_of(s.exp);
-        peer.beta = s.beta().value();
-        peer.join_window = cur_w;
         pos_[e.idx] = static_cast<std::int32_t>(active_.size());
-        active_.push_back(peer);
+        active_.push_back(make_peer(e.idx, cur_w));
       } else {
         const auto i = static_cast<std::size_t>(pos_[e.idx]);
         CL_ENSURES(pos_[e.idx] >= 0 && i < active_.size());
@@ -161,11 +138,219 @@ void SwarmSweep::sweep(SwarmKey key, std::span<const std::uint32_t> indices,
   if (config_.collect_swarms) {
     SwarmResult swarm;
     swarm.key = key;
-    swarm.sessions = indices.size();
-    swarm.capacity =
-        trace.span.value() > 0 ? watch_seconds / trace.span.value() : 0;
+    swarm.sessions = session_count;
+    swarm.capacity = span_seconds > 0 ? watch_seconds / span_seconds : 0;
     swarm.traffic = swarm_traffic;
     out.swarms.push_back(swarm);
+  }
+}
+
+void SwarmSweep::sweep(SwarmKey key, std::span<const std::uint32_t> indices,
+                       const TraceView& view, SimResult& out) {
+  // The active-list bookkeeping packs session indices into int32_t slots;
+  // a pathological >2B-session swarm must fail loudly, not corrupt them.
+  CL_EXPECTS(indices.size() <= static_cast<std::size_t>(
+                                   std::numeric_limits<std::int32_t>::max()));
+  const double dt = config_.window.value();
+  const std::size_t count = indices.size();
+  const std::span<const double> start = view.start();
+  const std::span<const double> duration = view.duration();
+
+  // Gather phase 1: window bounds and watch time, one tight pass over
+  // the start/duration columns into contiguous scratch. Sessions shorter
+  // than one window are skipped below: they never complete a full Δτ
+  // streaming step.
+  w_start_.resize(count);
+  w_end_.resize(count);
+  double watch_seconds = 0;
+  for (std::size_t g = 0; g < count; ++g) {
+    const std::uint32_t idx = indices[g];
+    const double s = start[idx];
+    const double d = duration[idx];
+    watch_seconds += d;
+    w_start_[g] = static_cast<std::uint64_t>(s / dt);
+    w_end_[g] = static_cast<std::uint64_t>((s + d) / dt);
+  }
+  events_.clear();
+  events_.reserve(count * 2);
+  for (std::size_t g = 0; g < count; ++g) {
+    if (w_end_[g] > w_start_[g]) {
+      events_.push_back({w_start_[g], 1, static_cast<std::uint32_t>(g)});
+      events_.push_back({w_end_[g], 0, static_cast<std::uint32_t>(g)});
+    }
+  }
+
+  bool single_isp = true;
+  if (!events_.empty()) {
+    // Gather phase 2: the per-peer fields the event loop touches, again
+    // as contiguous primitive arrays (skipped entirely for swarms with
+    // no window-crossing session).
+    const std::span<const std::uint32_t> users = view.user();
+    const std::span<const std::uint32_t> isps = view.isp();
+    const std::span<const std::uint32_t> exps = view.exp();
+    const std::span<const std::uint8_t> bitrates = view.bitrate();
+    g_user_.resize(count);
+    g_isp_.resize(count);
+    g_exp_.resize(count);
+    g_pop_.resize(count);
+    g_beta_.resize(count);
+    const std::uint32_t isp0 = isps[indices[0]];
+    std::uint32_t max_exp = 0;
+    std::uint32_t max_pop = 0;
+    for (std::size_t g = 0; g < count; ++g) {
+      const std::uint32_t idx = indices[g];
+      g_user_[g] = users[idx];
+      const std::uint32_t isp = isps[idx];
+      g_isp_[g] = isp;
+      if (isp != isp0) single_isp = false;
+      const std::uint32_t exp = exps[idx];
+      g_exp_[g] = exp;
+      const std::uint32_t pop = metro_->isp(isp).pop_of(exp);
+      g_pop_[g] = pop;
+      g_beta_[g] =
+          bitrate_of(static_cast<BitrateClass>(bitrates[idx])).value();
+      max_exp = std::max(max_exp, exp);
+      max_pop = std::max(max_pop, pop);
+    }
+    // Size the flat matcher scratch (values stay zero: resize only adds
+    // zeros, and allocate_existence_flat re-zeroes what it touches).
+    if (cnt_exp_.size() <= max_exp) {
+      cnt_exp_.resize(max_exp + 1, 0);
+      dem_exp_.resize(max_exp + 1, 0.0);
+    }
+    if (cnt_pop_.size() <= max_pop) {
+      cnt_pop_.resize(max_pop + 1, 0);
+      dem_pop_.resize(max_pop + 1, 0.0);
+    }
+  }
+
+  // The flat allocator's ExP/PoP-indexed arrays assume every active peer
+  // shares one ISP — true for every ISP-keyed swarm; ISP-spanning swarms
+  // (cross-ISP ablation) take the generic matcher.
+  const bool flat =
+      config_.matcher == MatcherKind::kExistence && single_isp;
+  run_events(
+      key, count, watch_seconds, view.span().value(),
+      hour_bound(view.span().value()), out,
+      [&](std::uint32_t idx, std::uint64_t window) {
+        ActivePeer peer;
+        peer.session = idx;
+        peer.user = g_user_[idx];
+        peer.isp = g_isp_[idx];
+        peer.exp = g_exp_[idx];
+        peer.pop = g_pop_[idx];
+        peer.beta = g_beta_[idx];
+        peer.join_window = window;
+        return peer;
+      },
+      [&](std::span<const ActivePeer> actives, std::size_t seed) {
+        if (flat) {
+          allocate_existence_flat(actives, seed, alloc_);
+        } else {
+          matcher_->allocate(actives, seed, config_, alloc_);
+        }
+      });
+}
+
+void SwarmSweep::sweep_rows(SwarmKey key,
+                            std::span<const std::uint32_t> indices,
+                            const Trace& trace, SimResult& out) {
+  CL_EXPECTS(indices.size() <= static_cast<std::size_t>(
+                                   std::numeric_limits<std::int32_t>::max()));
+  const double dt = config_.window.value();
+  events_.clear();
+  events_.reserve(indices.size() * 2);
+  double watch_seconds = 0;
+  for (std::uint32_t g = 0; g < indices.size(); ++g) {
+    const SessionRecord& s = trace.sessions[indices[g]];
+    watch_seconds += s.duration;
+    const auto w_start = static_cast<std::uint64_t>(s.start / dt);
+    const auto w_end = static_cast<std::uint64_t>(s.end() / dt);
+    if (w_end <= w_start) continue;
+    events_.push_back({w_start, 1, g});
+    events_.push_back({w_end, 0, g});
+  }
+  run_events(
+      key, indices.size(), watch_seconds, trace.span.value(),
+      hour_bound(trace.span.value()), out,
+      [&](std::uint32_t idx, std::uint64_t window) {
+        const SessionRecord& s = trace.sessions[indices[idx]];
+        ActivePeer peer;
+        peer.session = idx;
+        peer.user = s.user;
+        peer.isp = s.isp;
+        peer.exp = s.exp;
+        peer.pop = metro_->isp(s.isp).pop_of(s.exp);
+        peer.beta = s.beta().value();
+        peer.join_window = window;
+        return peer;
+      },
+      [&](std::span<const ActivePeer> actives, std::size_t seed) {
+        matcher_->allocate(actives, seed, config_, alloc_);
+      });
+}
+
+void SwarmSweep::allocate_existence_flat(std::span<const ActivePeer> actives,
+                                         std::size_t seed_index,
+                                         std::vector<PeerAllocation>& out) {
+  const std::size_t n = actives.size();
+  CL_EXPECTS(n == 0 || seed_index < n);
+  out.assign(n, PeerAllocation{});
+  if (n == 0) return;
+  const double dt = config_.window.value();
+  const double ratio = std::min(config_.q_over_beta, 1.0);
+
+  for (const ActivePeer& a : actives) {
+    ++cnt_exp_[a.exp];
+    ++cnt_pop_[a.pop];
+  }
+  const auto cnt_isp = static_cast<std::uint32_t>(n);  // single-ISP swarm
+
+  // Same accumulation order as ExistenceMatcher::allocate — every
+  // floating-point add/divide happens on the same values in the same
+  // sequence, so the allocation is bit-identical to the generic matcher.
+  double dem_core = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const ActivePeer& a = actives[i];
+    const double demand = a.beta * dt;
+    out[i].server_bits = demand;
+    if (n < 2 || i == seed_index) continue;
+    const double d = ratio * demand;
+    if (d <= 0) continue;
+    if (cnt_exp_[a.exp] >= 2) {
+      out[i].peer_bits[index(LocalityLevel::kExchangePoint)] = d;
+      dem_exp_[a.exp] += d;
+    } else if (cnt_pop_[a.pop] >= 2) {
+      out[i].peer_bits[index(LocalityLevel::kPop)] = d;
+      dem_pop_[a.pop] += d;
+    } else {
+      // With n >= 2 peers in one ISP the core layer always has company;
+      // the generic matcher's cross-ISP branch is unreachable here.
+      out[i].peer_bits[index(LocalityLevel::kCore)] = d;
+      dem_core += d;
+    }
+    out[i].server_bits -= d;
+  }
+
+  // Attribute uploads evenly across the members of each serving bucket
+  // (see DESIGN.md: totals are exact, the per-user split is the
+  // symmetric-swarm approximation). A bucket's demand is > 0 iff the
+  // map-based matcher would have an entry for it (all deposits are > 0).
+  for (std::size_t j = 0; j < n; ++j) {
+    const ActivePeer& a = actives[j];
+    double up = 0;
+    if (dem_exp_[a.exp] > 0) up += dem_exp_[a.exp] / cnt_exp_[a.exp];
+    if (dem_pop_[a.pop] > 0) up += dem_pop_[a.pop] / cnt_pop_[a.pop];
+    if (dem_core > 0) up += dem_core / cnt_isp;
+    out[j].upload_bits = up;
+  }
+
+  // Restore the all-zero scratch invariant (touched entries only).
+  for (const ActivePeer& a : actives) {
+    cnt_exp_[a.exp] = 0;
+    dem_exp_[a.exp] = 0;
+    cnt_pop_[a.pop] = 0;
+    dem_pop_[a.pop] = 0;
   }
 }
 

@@ -6,13 +6,28 @@
 // *per swarm*. A SwarmSweep is one worker's sweep engine: it owns every
 // piece of scratch state the event-batched sweep needs (the join/leave
 // event vector, the active-peer list, the session→active index map, the
-// per-window allocation buffer) plus its own Matcher instance, and is
-// reused across all swarms that worker processes — after the first few
-// swarms the sweep runs allocation-free.
+// per-window allocation buffer, the gathered per-swarm column scratch)
+// plus its own Matcher instance, and is reused across all swarms that
+// worker processes — after the first few swarms the sweep runs
+// allocation-free.
+//
+// Two data paths share one event loop:
+//
+//  * sweep(…, TraceView) — the hot path. The swarm's sessions are
+//    gathered from the trace columns into small contiguous primitive
+//    arrays (window bounds, user/ISP/ExP/PoP ids, β) in one pass per
+//    column, and the inner loops touch only those arrays. Single-ISP
+//    swarms under the existence matcher additionally bypass the virtual
+//    Matcher for a flat-array allocator (bit-identical output, no hash
+//    maps on the hot path).
+//  * sweep_rows(…, Trace) — the row-structured reference path, reading
+//    SessionRecords and dispatching through the Matcher interface. Kept
+//    as the bit-identity oracle and the bench/micro_sweep baseline.
 //
 // A sweep accumulates into a partial SimResult; partials merge with
 // SimResult::merge (see sim/metrics.h) in ascending swarm-key order, so
-// the full simulation is bit-identical for every thread count.
+// the full simulation is bit-identical for every thread count — and
+// identical between the two data paths.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +41,7 @@
 #include "sim/swarm_key.h"
 #include "topology/placement.h"
 #include "trace/session.h"
+#include "trace/trace_view.h"
 
 namespace cl {
 
@@ -36,13 +52,20 @@ class SwarmSweep {
   /// outlive the sweep.
   SwarmSweep(const Metro& metro, const SimConfig& config);
 
-  /// Sweeps one swarm (the sessions at `indices` into `trace`) and
-  /// accumulates its traffic into `out`. When `config.collect_hourly`
-  /// is set, `out.hourly` grows lazily to cover the hours the swarm
-  /// touches — SimResult::merge aligns differently grown grids, and
-  /// HybridSimulator::run pads the merged result to [hours][isps].
+  /// Sweeps one swarm (the sessions at `indices` into `view`'s columns)
+  /// and accumulates its traffic into `out` — the columnar hot path.
+  /// When `config.collect_hourly` is set, `out.hourly` grows lazily to
+  /// cover the hours the swarm touches — SimResult::merge aligns
+  /// differently grown grids, and HybridSimulator::run pads the merged
+  /// result to [hours][isps].
   void sweep(SwarmKey key, std::span<const std::uint32_t> indices,
-             const Trace& trace, SimResult& out);
+             const TraceView& view, SimResult& out);
+
+  /// Row-structured reference sweep over trace.sessions — bit-identical
+  /// to sweep() by construction (same events, same order, same matcher
+  /// arithmetic); kept for identity tests and the micro_sweep baseline.
+  void sweep_rows(SwarmKey key, std::span<const std::uint32_t> indices,
+                  const Trace& trace, SimResult& out);
 
  private:
   /// A join or leave of one swarm session at a window boundary.
@@ -51,6 +74,23 @@ class SwarmSweep {
     std::uint8_t type = 0;  ///< 0 = leave, 1 = join (leaves apply first)
     std::uint32_t idx = 0;  ///< index within the swarm's session list
   };
+
+  /// Shared event loop: consumes the pre-built events_ (sorted), turning
+  /// joins into ActivePeers via `make_peer(idx, window)` and allocating
+  /// each stretch via `allocate(actives, seed)` into alloc_.
+  template <typename MakePeer, typename Allocate>
+  void run_events(SwarmKey key, std::size_t session_count,
+                  double watch_seconds, double span_seconds,
+                  std::size_t max_hours, SimResult& out, MakePeer&& make_peer,
+                  Allocate&& allocate);
+
+  /// Flat-array ExistenceMatcher for single-ISP swarms: replaces the
+  /// hash-map counting with arrays indexed by ExP/PoP id (bounded by the
+  /// ISP tree), preserving the exact floating-point accumulation order —
+  /// the allocation is bit-identical to ExistenceMatcher::allocate.
+  void allocate_existence_flat(std::span<const ActivePeer> actives,
+                               std::size_t seed_index,
+                               std::vector<PeerAllocation>& out);
 
   const Metro* metro_;
   SimConfig config_;
@@ -61,6 +101,17 @@ class SwarmSweep {
   std::vector<ActivePeer> active_;
   std::vector<std::int32_t> pos_;
   std::vector<PeerAllocation> alloc_;
+
+  // Per-swarm gathered columns (the SoA path's contiguous hot arrays).
+  std::vector<std::uint64_t> w_start_, w_end_;
+  std::vector<std::uint32_t> g_user_, g_isp_, g_exp_, g_pop_;
+  std::vector<double> g_beta_;
+
+  // Flat-array matcher scratch, indexed by ExP / PoP id. All-zero
+  // between allocations (allocate_existence_flat re-zeroes the entries
+  // it touched).
+  std::vector<std::uint32_t> cnt_exp_, cnt_pop_;
+  std::vector<double> dem_exp_, dem_pop_;
 };
 
 }  // namespace cl

@@ -1,13 +1,16 @@
 // trace_mmap.h — mmap-backed reader of `.cltrace` binary traces.
 //
-// The counterpart of trace/trace_binary.h: maps the file read-only,
-// validates the header and block directory without touching the payload,
-// and materializes sessions straight from the little-endian column
-// blocks — no text parsing, no iostream buffering. Materialization
-// shards session ranges across worker threads (util/parallel.h), so a
-// month-scale trace loads in seconds and the result is identical at
-// every thread count (each session is decoded independently from its
-// column bytes).
+// The counterpart of trace/trace_binary.h: maps the file read-only and
+// validates the header and block directory without touching the payload.
+// From there the payload columns are consumed two ways:
+//
+//  * zero-copy — trace/trace_view.h wraps the mapped column blocks in
+//    typed spans and the simulator sweeps them directly, materializing
+//    nothing (the default for `.cltrace` input on little-endian hosts);
+//  * materialized — to_trace() decodes row-structured SessionRecords,
+//    sharding session ranges across worker threads (util/parallel.h),
+//    for callers that genuinely need rows (filters, converters, the
+//    row-path reference sweep).
 #pragma once
 
 #include <cstddef>
@@ -52,6 +55,16 @@ class MappedTrace {
   /// Decodes one session from the column blocks (bitrate unvalidated —
   /// use to_trace() for checked loading).
   [[nodiscard]] SessionRecord session(std::size_t i) const;
+
+  /// Raw payload bytes of block `id` (see trace/trace_binary.h for the
+  /// block table). The pointer is valid for the lifetime of this
+  /// MappedTrace; blocks are little-endian and 64-byte aligned within
+  /// the file. Zero-copy consumers (trace/trace_view.h) cast these to
+  /// typed column pointers; everyone else should use session() or
+  /// to_trace().
+  [[nodiscard]] const unsigned char* raw_block(std::size_t id) const {
+    return block(id);
+  }
 
   /// Materializes the full trace — sessions, span and swarm index —
   /// sharding session decoding across `threads` workers (0 = all

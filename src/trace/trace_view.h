@@ -1,0 +1,131 @@
+// trace_view.h — columnar, zero-materialization view of a trace.
+//
+// The simulator's hot loops (sim/swarm_sweep.h) consume *columns*, not
+// rows: per-field spans of start times, durations, swarm-key parts and
+// user/ISP/ExP ids. A TraceView is the abstraction that hands those
+// spans out, backed by one of two storages:
+//
+//  * zero-copy — the spans alias the mmap'd `.cltrace` column blocks of
+//    a MappedTrace directly (the blocks are little-endian and 64-byte
+//    aligned exactly so this cast is legal); nothing is decoded per
+//    session, nothing is materialized. This is the default for binary
+//    traces on little-endian hosts.
+//  * owned SoA — the spans point into column vectors transposed once
+//    from a row-structured Trace (CSV loads, generated or filtered
+//    traces), or decoded from a MappedTrace on big-endian/misaligned
+//    hosts.
+//
+// Ownership and lifetime: a TraceView *shares* its backing (the mapped
+// file or the SoA buffers) via shared_ptr, so views are cheap to copy,
+// safe to move, and every span a view handed out stays valid for as
+// long as any copy of that view lives. The one thing a view never does
+// is keep a `Trace&` alive — from_trace() copies the columns out, so
+// the source Trace may be destroyed immediately afterwards.
+//
+// Construction from a MappedTrace performs the same field-level
+// validation to_trace() does — bitrate range, swarm-index consistency,
+// session ordering/span invariants — as column passes, without ever
+// materializing a SessionRecord.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/session.h"
+#include "trace/trace_mmap.h"
+#include "util/units.h"
+
+namespace cl {
+
+/// Columnar view of a trace: per-field spans plus the swarm index.
+class TraceView {
+ public:
+  /// An empty view (no sessions, no index).
+  TraceView() = default;
+
+  /// Transposes a row-structured Trace into owned SoA columns (sharded
+  /// across `threads` workers; 0 = all hardware threads). The returned
+  /// view is self-contained — `trace` may die right after this returns.
+  /// Trusts its input exactly as far as HybridSimulator::run(Trace) did:
+  /// field invariants are the loader's responsibility.
+  [[nodiscard]] static TraceView from_trace(const Trace& trace,
+                                            unsigned threads = 1);
+
+  /// Wraps a mapped `.cltrace` zero-copy (taking ownership of the
+  /// mapping), falling back to a one-shot SoA transpose on hosts where
+  /// the blocks cannot be aliased (big-endian, misaligned mapping).
+  /// Validates bitrates, the swarm index and the session invariants
+  /// column-wise; throws cl::ParseError on corrupt payloads.
+  [[nodiscard]] static TraceView from_mapped(MappedTrace mapped,
+                                             unsigned threads = 1);
+
+  /// Maps `path` and wraps it — read_trace_binary_file's zero-copy
+  /// sibling. Throws cl::IoError / cl::ParseError like MappedTrace.
+  [[nodiscard]] static TraceView open_binary(const std::string& path,
+                                             unsigned threads = 1);
+
+  [[nodiscard]] std::size_t size() const { return start_.size(); }
+  [[nodiscard]] bool empty() const { return start_.empty(); }
+
+  // Per-session columns, each of size() elements.
+  [[nodiscard]] std::span<const std::uint32_t> user() const { return user_; }
+  [[nodiscard]] std::span<const std::uint32_t> household() const {
+    return household_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> content() const {
+    return content_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> isp() const { return isp_; }
+  [[nodiscard]] std::span<const std::uint32_t> exp() const { return exp_; }
+  [[nodiscard]] std::span<const std::uint8_t> bitrate() const {
+    return bitrate_;
+  }
+  [[nodiscard]] std::span<const double> start() const { return start_; }
+  [[nodiscard]] std::span<const double> duration() const { return duration_; }
+
+  /// Total covered duration (epoch 0 .. span), like Trace::span.
+  [[nodiscard]] Seconds span() const { return span_; }
+  /// Metro registry name recorded in the trace, or empty when unknown.
+  [[nodiscard]] const std::string& metro_name() const { return metro_name_; }
+
+  /// Swarm index: groups ascend by (content, isp, bitrate); order() is
+  /// the grouped session-index permutation (empty when the trace carries
+  /// no index — the simulator falls back to hash grouping).
+  [[nodiscard]] std::span<const SwarmIndexGroup> groups() const {
+    return groups_ ? std::span<const SwarmIndexGroup>(*groups_)
+                   : std::span<const SwarmIndexGroup>();
+  }
+  [[nodiscard]] std::span<const std::uint32_t> order() const { return order_; }
+  [[nodiscard]] bool has_index() const {
+    return groups_ && !groups_->empty() && order_.size() == size();
+  }
+
+  /// True when the session columns alias an mmap'd file (nothing owned
+  /// beyond the decoded group table).
+  [[nodiscard]] bool zero_copy() const { return mapped_ != nullptr; }
+
+  /// Materializes one session from the columns (tests, spot reads — not
+  /// a hot-path API).
+  [[nodiscard]] SessionRecord session(std::size_t i) const;
+
+ private:
+  /// Owned SoA backing (from_trace, or the from_mapped fallback).
+  struct Columns;
+
+  std::shared_ptr<const Columns> columns_;
+  std::shared_ptr<const MappedTrace> mapped_;
+  std::shared_ptr<const std::vector<SwarmIndexGroup>> groups_;
+
+  std::span<const std::uint32_t> user_, household_, content_, isp_, exp_;
+  std::span<const std::uint8_t> bitrate_;
+  std::span<const double> start_, duration_;
+  std::span<const std::uint32_t> order_;
+  Seconds span_;
+  std::string metro_name_;
+};
+
+}  // namespace cl
