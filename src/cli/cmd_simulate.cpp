@@ -14,7 +14,7 @@ namespace {
 
 void print_timing(std::ostream& out, const char* label, double seconds) {
   char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "timing: %-6s %9.3f s", label,
+  std::snprintf(buffer, sizeof(buffer), "timing: %-10s %9.3f s", label,
                 seconds);
   out << buffer << "\n";
 }
@@ -55,6 +55,13 @@ int cmd_simulate(const Args& args) {
     print_timing(std::cout, "load", load_seconds);
     print_timing(std::cout, "group", timing.group_seconds);
     print_timing(std::cout, "sweep", timing.sweep_seconds);
+    // Per-kernel split of the sweep (sim/sweep_kernels.h) — CPU seconds
+    // summed across workers, so the four can exceed the sweep wall time
+    // when --threads > 1.
+    print_timing(std::cout, "  gather1", timing.sweep_gather1_seconds);
+    print_timing(std::cout, "  gather2", timing.sweep_gather2_seconds);
+    print_timing(std::cout, "  events", timing.sweep_events_seconds);
+    print_timing(std::cout, "  allocate", timing.sweep_allocate_seconds);
     print_timing(std::cout, "merge", timing.merge_seconds);
     std::cout << "\n";
   }

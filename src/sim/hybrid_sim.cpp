@@ -133,13 +133,36 @@ SimResult HybridSimulator::run(const TraceView& view,
   // only surface as an opaque contract failure deep inside a sweep — or
   // worse, not at all when the ids happen to fit. Check the whole trace
   // against this metro's shape up front, column-wise; one O(n) pass is
-  // noise next to the sweep itself.
+  // noise next to the sweep itself. The pass is branch-free flag
+  // accumulation (no early exit) so the compiler can vectorize it —
+  // tools/check_vectorization.py gates the remark — and the rare failing
+  // trace pays one scalar rescan for the error message.
   const std::span<const std::uint32_t> isp = view.isp();
   const std::span<const std::uint32_t> exp = view.exp();
+  const auto isp_count = static_cast<std::uint32_t>(metro_->isp_count());
+  std::vector<std::uint32_t> exp_limit(isp_count);
+  for (std::uint32_t a = 0; a < isp_count; ++a) {
+    exp_limit[a] = metro_->isp(a).exchange_points();
+  }
+  std::uint32_t max_isp = 0;
+  // [vec:metro-fit-isp]
   for (std::size_t i = 0; i < view.size(); ++i) {
-    if (isp[i] >= metro_->isp_count() ||
-        exp[i] >= metro_->isp(isp[i]).exchange_points()) {
-      metro_mismatch(*metro_, view.metro_name(), isp[i], exp[i]);
+    max_isp = std::max(max_isp, isp[i]);
+  }
+  bool fits = max_isp < isp_count || view.size() == 0;
+  if (fits) {
+    std::uint32_t bad = 0;
+    // [vec:metro-fit-exp]
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      bad |= exp[i] >= exp_limit[isp[i]] ? 1u : 0u;
+    }
+    fits = bad == 0;
+  }
+  if (!fits) {
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      if (isp[i] >= isp_count || exp[i] >= exp_limit[isp[i]]) {
+        metro_mismatch(*metro_, view.metro_name(), isp[i], exp[i]);
+      }
     }
   }
 
@@ -175,9 +198,11 @@ SimResult HybridSimulator::run(const TraceView& view,
   // bit-identical results at every thread count (the util/parallel.h
   // contract).
   ReduceTiming reduce_timing;
+  SweepKernelTiming kernel_timing;
+  SweepKernelTiming* kernel_sink = timing != nullptr ? &kernel_timing : nullptr;
   SimResult result = parallel_chunked_reduce_stateful(
       swarms.size(), config_.threads,
-      [&] { return SwarmSweep(*metro_, config_); }, make_partial,
+      [&] { return SwarmSweep(*metro_, config_, kernel_sink); }, make_partial,
       [&](SwarmSweep& sweep, SimResult& acc, std::size_t begin,
           std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
@@ -196,6 +221,10 @@ SimResult HybridSimulator::run(const TraceView& view,
         std::chrono::duration<double>(group_end - group_start).count();
     timing->sweep_seconds = reduce_timing.work_seconds;
     timing->merge_seconds = reduce_timing.merge_seconds;
+    timing->sweep_gather1_seconds = kernel_timing.gather1_seconds.load();
+    timing->sweep_gather2_seconds = kernel_timing.gather2_seconds.load();
+    timing->sweep_events_seconds = kernel_timing.events_seconds.load();
+    timing->sweep_allocate_seconds = kernel_timing.allocate_seconds.load();
   }
   return result;
 }

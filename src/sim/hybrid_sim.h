@@ -53,6 +53,15 @@ struct SimPhaseTiming {
   double group_seconds = 0;  ///< metro-fit validation + swarm grouping
   double sweep_seconds = 0;  ///< concurrent per-swarm sweep phase
   double merge_seconds = 0;  ///< folding the per-chunk SimResult partials
+
+  // Per-kernel split of the sweep phase (sim/sweep_kernels.h), summed
+  // across workers — CPU seconds, so the four can exceed sweep_seconds
+  // wall time when threads > 1. Collecting them adds clock reads to the
+  // sweep hot path, so they are only measured when `timing` is non-null.
+  double sweep_gather1_seconds = 0;   ///< window bounds + watch time
+  double sweep_gather2_seconds = 0;   ///< per-peer column gathers
+  double sweep_events_seconds = 0;    ///< event sort + stretch loop
+  double sweep_allocate_seconds = 0;  ///< per-stretch allocation
 };
 
 /// Trace-driven hybrid-CDN simulator.

@@ -5,7 +5,7 @@
 // (paper Section IV.A), which makes the simulator embarrassingly parallel
 // *per swarm*. A SwarmSweep is one worker's sweep engine: it owns every
 // piece of scratch state the event-batched sweep needs (the join/leave
-// event vector, the active-peer list, the session→active index map, the
+// event streams, the active-peer list, the session→active index map, the
 // per-window allocation buffer, the gathered per-swarm column scratch)
 // plus its own Matcher instance, and is reused across all swarms that
 // worker processes — after the first few swarms the sweep runs
@@ -15,8 +15,11 @@
 //
 //  * sweep(…, TraceView) — the hot path. The swarm's sessions are
 //    gathered from the trace columns into small contiguous primitive
-//    arrays (window bounds, user/ISP/ExP/PoP ids, β) in one pass per
-//    column, and the inner loops touch only those arrays. Single-ISP
+//    arrays (window bounds, user/ISP/ExP/PoP ids, β) by the SIMD
+//    kernels in sim/sweep_kernels.h (backend and runtime dispatch:
+//    util/simd.h), and the inner loops touch only those arrays. Join
+//    events inherit the trace's start ordering, so only the leave
+//    stream is sorted — as packed (window, idx) u64 keys. Single-ISP
 //    swarms under the existence matcher additionally bypass the virtual
 //    Matcher for a flat-array allocator (bit-identical output, no hash
 //    maps on the hot path).
@@ -27,9 +30,11 @@
 // A sweep accumulates into a partial SimResult; partials merge with
 // SimResult::merge (see sim/metrics.h) in ascending swarm-key order, so
 // the full simulation is bit-identical for every thread count — and
-// identical between the two data paths.
+// identical between the two data paths and every SIMD backend (the
+// kernels' lane-width-independence rule, DESIGN.md §"SIMD kernels").
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -42,15 +47,32 @@
 #include "topology/placement.h"
 #include "trace/session.h"
 #include "trace/trace_view.h"
+#include "util/simd.h"
 
 namespace cl {
+
+/// Per-kernel wall-time accumulator shared by every worker's SwarmSweep
+/// (`cl simulate --timing`). Workers add their per-swarm kernel times
+/// with relaxed atomics — the totals are CPU seconds summed across
+/// workers, so they can exceed the sweep phase's wall time when
+/// threads > 1.
+struct SweepKernelTiming {
+  std::atomic<double> gather1_seconds{0};   ///< window bounds + watch time
+  std::atomic<double> gather2_seconds{0};   ///< per-peer column gathers
+  std::atomic<double> events_seconds{0};    ///< event sort + stretch loop
+  std::atomic<double> allocate_seconds{0};  ///< per-stretch allocation
+};
 
 /// One worker's reusable swarm-sweep engine.
 class SwarmSweep {
  public:
   /// `metro` supplies the per-ISP trees for locality lookups and must
-  /// outlive the sweep.
-  SwarmSweep(const Metro& metro, const SimConfig& config);
+  /// outlive the sweep. `timing`, when non-null, receives the per-kernel
+  /// wall-time split (adds clock reads to the hot path — only wire it up
+  /// when the caller asked for timing). The SIMD dispatch flag is
+  /// latched here: compiled backend ∧ CL_SIMD environment override.
+  SwarmSweep(const Metro& metro, const SimConfig& config,
+             SweepKernelTiming* timing = nullptr);
 
   /// Sweeps one swarm (the sessions at `indices` into `view`'s columns)
   /// and accumulates its traffic into `out` — the columnar hot path.
@@ -75,14 +97,36 @@ class SwarmSweep {
     std::uint32_t idx = 0;  ///< index within the swarm's session list
   };
 
-  /// Shared event loop: consumes the pre-built events_ (sorted), turning
-  /// joins into ActivePeers via `make_peer(idx, window)` and allocating
-  /// each stretch via `allocate(actives, seed)` into alloc_.
+  /// Generic event loop over the pre-built events_ (sorted here):
+  /// sweep_rows' path, and sweep()'s fallback for swarms whose leave
+  /// events don't fit the packed-key layout.
   template <typename MakePeer, typename Allocate>
   void run_events(SwarmKey key, std::size_t session_count,
                   double watch_seconds, double span_seconds,
                   std::size_t max_hours, SimResult& out, MakePeer&& make_peer,
                   Allocate&& allocate);
+
+  /// Stream-merge event loop — the SoA hot path. Joins come from
+  /// join_idx_ (already window-ordered: sessions are start-sorted);
+  /// leaves from leave_keys_ (packed u64 keys, sorted by the caller).
+  /// Applies the exact event order run_events' sort would produce.
+  template <typename MakePeer, typename Allocate>
+  void run_events_merge(SwarmKey key, std::size_t session_count,
+                        double watch_seconds, double span_seconds,
+                        std::size_t max_hours, SimResult& out,
+                        MakePeer&& make_peer, Allocate&& allocate);
+
+  /// One constant-membership stretch [w0, w1): seed selection,
+  /// allocation, traffic folds (+ optional hourly / per-user splits).
+  template <typename Allocate>
+  void process_stretch(Allocate& allocate, std::uint64_t w0, std::uint64_t w1,
+                       TrafficBreakdown& swarm_traffic, std::size_t max_hours,
+                       SimResult& out);
+
+  /// Appends the per-swarm row when collect_swarms is on.
+  void emit_swarm(SwarmKey key, std::size_t session_count,
+                  double watch_seconds, double span_seconds,
+                  const TrafficBreakdown* traffic, SimResult& out);
 
   /// Flat-array ExistenceMatcher for single-ISP swarms: replaces the
   /// hash-map counting with arrays indexed by ExP/PoP id (bounded by the
@@ -95,6 +139,13 @@ class SwarmSweep {
   const Metro* metro_;
   SimConfig config_;
   std::unique_ptr<Matcher> matcher_;
+  SweepKernelTiming* timing_ = nullptr;
+  bool use_simd_ = false;
+  // True while sweeping on the flat-allocator route (sweep() sets it per
+  // swarm; sweep_rows keeps it off so the reference path stays generic):
+  // lone-peer stretches — the dominant shape in sparse swarms — then
+  // bypass allocation entirely (see process_stretch's fast path).
+  bool lone_flat_ = false;
 
   // Scratch, reused across swarms (cleared, not reallocated).
   std::vector<Event> events_;
@@ -102,16 +153,22 @@ class SwarmSweep {
   std::vector<std::int32_t> pos_;
   std::vector<PeerAllocation> alloc_;
 
-  // Per-swarm gathered columns (the SoA path's contiguous hot arrays).
-  std::vector<std::uint64_t> w_start_, w_end_;
-  std::vector<std::uint32_t> g_user_, g_isp_, g_exp_, g_pop_;
-  std::vector<double> g_beta_;
+  // Event streams of the merge path: crossing-session indices in join
+  // order, and packed (window << 24 | idx) leave sort keys.
+  simd::aligned_vector<std::uint32_t> join_idx_;
+  simd::aligned_vector<std::uint64_t> leave_keys_;
+
+  // Per-swarm gathered columns (the SoA path's contiguous hot arrays),
+  // 64-byte aligned so the kernels' whole-array loads are aligned.
+  simd::aligned_vector<std::uint64_t> w_start_, w_end_;
+  simd::aligned_vector<std::uint32_t> g_user_, g_isp_, g_exp_, g_pop_;
+  simd::aligned_vector<double> g_beta_;
 
   // Flat-array matcher scratch, indexed by ExP / PoP id. All-zero
   // between allocations (allocate_existence_flat re-zeroes the entries
   // it touched).
-  std::vector<std::uint32_t> cnt_exp_, cnt_pop_;
-  std::vector<double> dem_exp_, dem_pop_;
+  simd::aligned_vector<std::uint32_t> cnt_exp_, cnt_pop_;
+  simd::aligned_vector<double> dem_exp_, dem_pop_;
 };
 
 }  // namespace cl

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,13 @@ class IspTopology {
 
   /// PoP that exchange point `exp_id` belongs to.
   [[nodiscard]] std::uint32_t pop_of(std::uint32_t exp_id) const;
+
+  /// The whole ExP→PoP lookup column (`exp_to_pop()[e] == pop_of(e)`),
+  /// exposed so the sweep's gather kernels can table-gather PoP ids
+  /// instead of calling pop_of per session.
+  [[nodiscard]] std::span<const std::uint32_t> exp_to_pop() const {
+    return exp_to_pop_;
+  }
 
   /// Table III: probability that a uniformly placed user is under a given
   /// node of each layer (1/n_exp, 1/n_pop, 1).

@@ -17,6 +17,12 @@ bench silently dropping out of the CI harness (e.g. fig_cross_metro, the
 cross-metro experiment) fails the run even though its workload-scale wall
 time is never gated.
 
+`--min bench:metric:value` (repeatable) asserts an absolute floor on a
+metric of the current run, with no baseline involved — e.g.
+`--min micro_sweep:soa_over_row_speedup:5.0` pins the SoA sweep's
+speedup bar so a hot-path regression fails even on the very first run
+of a branch (where the wall-time comparison has nothing to compare).
+
 Exit codes: 0 ok (including "no baseline yet"), 1 regression or missing
 required bench, 2 usage.
 """
@@ -61,6 +67,12 @@ def main() -> int:
                              "present in the current run (coverage gate; "
                              "their wall time is not compared unless they "
                              "are also in --benches)")
+    parser.add_argument("--min", action="append", default=[],
+                        dest="floors", metavar="BENCH:METRIC:VALUE",
+                        help="absolute floor on a current-run metric, e.g. "
+                             "micro_sweep:soa_over_row_speedup:5.0 — fails "
+                             "when the bench/metric is missing or the value "
+                             "is below the floor (repeatable)")
     parser.add_argument("--max-regression", type=float, default=0.25,
                         help="allowed fractional wall-time increase for "
                              "guarded benches (default 0.25 = +25%%)")
@@ -94,6 +106,36 @@ def main() -> int:
         if not isinstance(metrics, dict) or not metrics:
             print(f"FAIL: required bench {name} has no metrics object")
             return 1
+
+    floor_failures = []
+    for spec in args.floors:
+        parts = spec.rsplit(":", 2)
+        if len(parts) != 3:
+            print(f"error: bad --min spec {spec!r} "
+                  "(want BENCH:METRIC:VALUE)")
+            return 2
+        bench, metric, raw = parts
+        try:
+            floor = float(raw)
+        except ValueError:
+            print(f"error: bad --min value in {spec!r}")
+            return 2
+        value = current.get(bench, {}).get("metrics", {}).get(metric)
+        if not isinstance(value, (int, float)):
+            floor_failures.append(f"{bench}:{metric} missing from current "
+                                  f"run (floor {floor:g})")
+            continue
+        status = "ok" if value >= floor else "FAIL"
+        print(f"floor {bench}:{metric} = {value:g} "
+              f"(>= {floor:g}) ... {status}")
+        if value < floor:
+            floor_failures.append(f"{bench}:{metric} = {value:g} "
+                                  f"below floor {floor:g}")
+    if floor_failures:
+        print("FAIL: metric floors not met:")
+        for failure in floor_failures:
+            print(f"  {failure}")
+        return 1
 
     if not args.baseline.is_dir():
         print(f"no baseline at {args.baseline} — first run, nothing to "
