@@ -1,0 +1,150 @@
+// fig_carbon_routing — the carbon-aware scheduling experiment: replay
+// the same scaled month unscheduled and scheduled (trough-seeking
+// preload + cross-metro green routing, src/carbon/schedule.h) across
+// every metro preset × intensity preset, and price both runs with
+// dual-grid accounting.
+//
+// This is the GreenStream-style headline ("8.2 % emission cut under a
+// <30 ms added-delay budget") reproduced on this simulator: the
+// scheduler shifts preloadable sessions into the grid's daily trough
+// (raising swarm synchrony and offload at the cleanest hours) and
+// serves each hour from the cleanest metro reachable within the
+// latency bound, while the dual-grid formula keeps the user-side wire
+// honest about energy burned on both ends.
+//
+// Reading the table: `flat` rows are the no-op anchor — no intensity
+// signal, scheduler inert, reduction exactly 0 (the same
+// backward-compatibility contract pinned in tests). Every non-flat row
+// must show a positive reduction; how much depends on how deep the
+// user grid's trough is and how much cleaner the neighbouring metro's
+// grid runs (london routes into the CAISO solar trough; us_sparse
+// routes into the nordic hydro grid; fiber_dense already sits on the
+// cleanest grid and gains from preload alone).
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_json.h"
+#include "carbon/intensity_curve.h"
+#include "carbon/schedule.h"
+#include "sim/hybrid_sim.h"
+#include "topology/metro_registry.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace cl;
+  double days = 30;
+  bench::Runner run("fig_carbon_routing", argc, argv, [&](const Args& args) {
+    days = args.get_double("days", days);
+  });
+  bench::banner(
+      "carbon-aware scheduling — unscheduled vs scheduled gCO2 per "
+      "metro x grid",
+      "trough-seeking preload + green routing under a 30 ms latency "
+      "bound, priced by dual-grid accounting; flat rows are the no-op "
+      "anchor");
+
+  const MetroRegistry& metros = MetroRegistry::instance();
+  const IntensityRegistry& intensities = IntensityRegistry::instance();
+  const std::vector<std::string> metro_names = metros.names();
+  double total_sessions = 0;
+  double reduction_sum = 0;
+  std::int64_t reduction_cells = 0;
+
+  TextTable table({"metro", "intensity", "model", "unsched kgCO2",
+                   "sched kgCO2", "reduction", "hours routed", "mean +ms"});
+
+  for (std::size_t home = 0; home < metro_names.size(); ++home) {
+    const Metro& metro = metros.get(metro_names[home]);
+
+    TraceConfig config = TraceConfig::london_month_scaled(days);
+    config.metro = metro_names[home];
+    config.threads = run.threads();
+    const Trace trace = TraceGenerator(config, metro).generate();
+    total_sessions += static_cast<double>(trace.size());
+
+    SimConfig sim_config;
+    sim_config.threads = run.threads();
+    sim_config.collect_swarms = false;
+    sim_config.collect_per_user = false;
+    sim_config.collect_hourly = true;
+    HybridSimulator simulator(metro, sim_config);
+    const SimResult unscheduled = simulator.run(trace);
+
+    for (const auto& intensity_preset : intensities.presets()) {
+      const IntensityCurve& curve = intensities.get(intensity_preset.name);
+      const CarbonScheduler scheduler(curve);
+
+      // The scheduled replay: preload into the curve's trough, then
+      // re-simulate. Inert (flat) schedulers reuse the unscheduled run
+      // — the transform is the identity, so re-running would only cost
+      // time to produce bit-identical numbers.
+      SimResult preloaded;
+      const SimResult* scheduled = &unscheduled;
+      if (!scheduler.inert()) {
+        preloaded =
+            simulator.run(scheduler.schedule_preload(trace, config.seed));
+        scheduled = &preloaded;
+      }
+
+      std::vector<const IntensityCurve*> serving;
+      for (std::size_t m = 0; m < metro_names.size(); ++m) {
+        serving.push_back(m == home
+                              ? &curve
+                              : &intensities.default_for_metro(metro_names[m]));
+      }
+      const RoutingPlan plan =
+          scheduler.plan_routes(serving, home, scheduled->hourly.size());
+
+      const std::string cell =
+          metro_names[home] + "_" + intensity_preset.name;
+      run.metrics().set(cell + "_hours_routed",
+                        static_cast<std::int64_t>(plan.hours_routed_away()));
+      run.metrics().set(cell + "_mean_added_latency_ms",
+                        plan.mean_added_latency_ms());
+      run.metrics().set(cell + "_max_added_latency_ms",
+                        plan.max_added_latency_ms());
+
+      for (const auto& params : standard_params()) {
+        const EnergyAccountant energy{CostFunctions(params)};
+        const ScheduleOutcome outcome =
+            scheduler.assess(unscheduled.hourly, scheduled->hourly, energy,
+                             plan);
+
+        table.add_row({metro_names[home], intensity_preset.name, params.name,
+                       fmt(outcome.unscheduled_g / 1000.0, 1),
+                       fmt(outcome.scheduled_g / 1000.0, 1),
+                       fmt_pct(outcome.reduction),
+                       fmt(static_cast<double>(plan.hours_routed_away()), 0),
+                       fmt(plan.mean_added_latency_ms(), 1)});
+
+        const std::string key = cell + "_" + params.name;
+        run.metrics().set(key + "_unscheduled_kg",
+                          outcome.unscheduled_g / 1000.0);
+        run.metrics().set(key + "_scheduled_kg", outcome.scheduled_g / 1000.0);
+        run.metrics().set(key + "_reduction", outcome.reduction);
+        if (!scheduler.inert()) {
+          reduction_sum += outcome.reduction;
+          ++reduction_cells;
+        }
+      }
+    }
+  }
+  run.set_items(total_sessions, "sessions");
+  run.metrics().set("headline_mean_reduction",
+                    reduction_cells > 0
+                        ? reduction_sum / static_cast<double>(reduction_cells)
+                        : 0.0);
+
+  std::cout << "\nunscheduled vs scheduled dual-grid gCO2 over " << days
+            << " days (preload adoption 50%, 2 h trough window, 25 ms/hop, "
+               "30 ms budget):\n";
+  table.print(std::cout);
+  std::cout << "\nflat rows stay at exactly 0 (inert scheduler); non-flat "
+               "rows cut grams two ways — the preload moves swarms into the "
+               "trough hours, and routing serves hours from a cleaner "
+               "neighbouring grid when one is within the latency budget.\n";
+  return run.finish();
+}

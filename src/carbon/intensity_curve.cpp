@@ -1,10 +1,17 @@
 #include "carbon/intensity_curve.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <numeric>
+#include <optional>
 #include <utility>
 
 #include "topology/metro_registry.h"
+#include "util/csv.h"
 #include "util/error.h"
 
 namespace cl {
@@ -41,6 +48,98 @@ double IntensityCurve::max() const {
 bool IntensityCurve::is_flat() const {
   return std::all_of(hours_.begin(), hours_.end(),
                      [&](double v) { return v == hours_[0]; });
+}
+
+namespace {
+
+/// Full-consumption double parse; std::nullopt on any trailing garbage.
+std::optional<double> parse_number(const std::string& field) {
+  if (field.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(field.c_str(), &end);
+  if (errno != 0 || end != field.c_str() + field.size()) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+IntensityCurve IntensityCurve::from_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw IoError("cannot open intensity CSV '" + path + "'");
+  }
+  const std::string name = std::filesystem::path(path).stem().string();
+
+  std::array<double, 24> hours{};
+  std::array<bool, 24> seen{};
+  std::size_t rows = 0;
+  std::size_t line_no = 0;
+  bool first_data_row = true;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> fields = split_csv_line(line);
+
+    // An ElectricityMap export leads with a header row; recognise it by
+    // its non-numeric fields — but only in first position, so a garbage
+    // row in the middle of the data stays a hard error.
+    const std::optional<double> first = parse_number(fields[0]);
+    const std::optional<double> second =
+        fields.size() > 1 ? parse_number(fields[1]) : std::nullopt;
+    if (first_data_row && (!first || (fields.size() > 1 && !second))) {
+      first_data_row = false;
+      continue;
+    }
+    first_data_row = false;
+
+    std::size_t hour = 0;
+    double value = 0;
+    if (fields.size() == 1) {
+      // Single-column form: gCO₂/kWh values in hour order.
+      if (!first) {
+        throw ParseError("intensity CSV '" + path + "' line " +
+                         std::to_string(line_no) + ": non-numeric value '" +
+                         fields[0] + "'");
+      }
+      hour = rows;
+      value = *first;
+    } else {
+      if (!first || !second) {
+        throw ParseError("intensity CSV '" + path + "' line " +
+                         std::to_string(line_no) +
+                         ": expected numeric hour,gCO2_per_kwh fields");
+      }
+      if (*first < 0 || *first > 23 || *first != std::floor(*first)) {
+        throw InvalidArgument("intensity CSV '" + path + "' line " +
+                              std::to_string(line_no) + ": hour '" +
+                              fields[0] + "' is not an integer in 0..23");
+      }
+      hour = static_cast<std::size_t>(*first);
+      value = *second;
+    }
+    if (rows >= 24 || hour >= 24) {
+      throw InvalidArgument("intensity CSV '" + path +
+                            "' has more than 24 hourly rows");
+    }
+    if (seen[hour]) {
+      throw InvalidArgument("intensity CSV '" + path + "' line " +
+                            std::to_string(line_no) + ": duplicate hour " +
+                            std::to_string(hour));
+    }
+    seen[hour] = true;
+    hours[hour] = value;
+    ++rows;
+  }
+  if (rows != 24) {
+    throw InvalidArgument("intensity CSV '" + path +
+                          "' must carry exactly 24 hourly rows (got " +
+                          std::to_string(rows) + ")");
+  }
+  // The constructor rejects values <= 0 (and NaN) with its own message.
+  return IntensityCurve(name, hours);
 }
 
 IntensityRegistry::IntensityRegistry() {

@@ -41,6 +41,16 @@ class IntensityCurve {
   [[nodiscard]] static IntensityCurve constant(std::string name,
                                                double gco2_per_kwh);
 
+  /// Loads a *measured* curve from an ElectricityMap-style 24-hour CSV
+  /// export: an optional header row, then exactly 24 data rows of either
+  /// `hour,gCO2_per_kwh` (each hour 0–23 exactly once, any order; extra
+  /// columns ignored) or a single gCO₂/kWh column in hour order. Blank
+  /// lines and `#` comments are skipped. The curve is named after the
+  /// file's stem. Throws cl::IoError (unreadable file), cl::ParseError
+  /// (non-numeric fields) or cl::InvalidArgument (wrong row count,
+  /// duplicate/out-of-range hours, values <= 0).
+  [[nodiscard]] static IntensityCurve from_csv(const std::string& path);
+
   [[nodiscard]] const std::string& name() const { return name_; }
 
   /// Intensity at an absolute trace hour (hour 0 = trace start = local

@@ -1,10 +1,14 @@
 // cli_common.h — helpers shared by the CLI subcommands.
 #pragma once
 
+#include <filesystem>
 #include <iostream>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "carbon/intensity_curve.h"
+#include "carbon/schedule.h"
 #include "sim/sim_config.h"
 #include "topology/metro_registry.h"
 #include "topology/placement.h"
@@ -71,8 +75,10 @@ inline const Metro& resolve_metro(const Args& args, const Trace& trace) {
 /// printed, exactly the pre-intensity output). The special value
 /// "metro" resolves to the grid registered alongside the selected metro
 /// preset (IntensityRegistry::default_for_metro); any other value is a
-/// registry preset name, and an unknown name is a hard argument error
-/// listing every valid preset.
+/// registry preset name or the path of an ElectricityMap-style 24-hour
+/// CSV export (IntensityCurve::from_csv — a *measured* curve), and an
+/// unknown name that is not a file is a hard argument error listing
+/// every valid preset.
 inline const IntensityCurve* intensity_from(const Args& args,
                                             const std::string& metro_name) {
   const auto name = args.get("intensity");
@@ -80,8 +86,20 @@ inline const IntensityCurve* intensity_from(const Args& args,
   const IntensityRegistry& registry = IntensityRegistry::instance();
   if (*name == "metro") return &registry.default_for_metro(metro_name);
   if (const IntensityCurve* curve = registry.find(*name)) return curve;
+  if (std::filesystem::exists(*name)) {
+    // Measured curves load once per path and live for the process, so
+    // callers hold long-lived pointers exactly as with registry presets
+    // (intensity_from runs twice per command: validate, then resolve).
+    static std::map<std::string, IntensityCurve> loaded;
+    auto it = loaded.find(*name);
+    if (it == loaded.end()) {
+      it = loaded.emplace(*name, IntensityCurve::from_csv(*name)).first;
+    }
+    return &it->second;
+  }
   throw ParseError("unknown intensity preset '" + *name +
-                   "' (valid: metro, " + registry.names_joined() + ")");
+                   "' (valid: metro, " + registry.names_joined() +
+                   ", or the path of a 24-hour intensity CSV)");
 }
 
 /// Rejects an unknown --intensity name *before* any expensive trace
@@ -89,6 +107,85 @@ inline const IntensityCurve* intensity_from(const Args& args,
 /// intensity_from). A typo should fail in milliseconds, not minutes.
 inline void validate_intensity_flag(const Args& args) {
   (void)intensity_from(args, kDefaultMetroName);
+}
+
+/// The --schedule flag: which carbon-aware levers are active
+/// (src/carbon/schedule.h). "preload" shifts sessions into the
+/// intensity trough, "route" serves hours from the cleanest viable
+/// metro, "all" does both, "off" (the default) changes nothing.
+enum class ScheduleMode { kOff, kPreload, kRoute, kAll };
+
+[[nodiscard]] inline bool schedule_preloads(ScheduleMode mode) {
+  return mode == ScheduleMode::kPreload || mode == ScheduleMode::kAll;
+}
+
+[[nodiscard]] inline bool schedule_routes(ScheduleMode mode) {
+  return mode == ScheduleMode::kRoute || mode == ScheduleMode::kAll;
+}
+
+/// Parses --schedule; any active mode requires --intensity (a scheduler
+/// without a curve has nothing to act on, and guessing one would break
+/// the "absent --intensity → pre-intensity output" contract).
+inline ScheduleMode schedule_from(const Args& args) {
+  const std::string mode = args.get_or("schedule", "off");
+  ScheduleMode parsed;
+  if (mode == "off") {
+    parsed = ScheduleMode::kOff;
+  } else if (mode == "preload") {
+    parsed = ScheduleMode::kPreload;
+  } else if (mode == "route") {
+    parsed = ScheduleMode::kRoute;
+  } else if (mode == "all") {
+    parsed = ScheduleMode::kAll;
+  } else {
+    throw ParseError("unknown schedule mode '" + mode +
+                     "' (off|preload|route|all)");
+  }
+  if (parsed != ScheduleMode::kOff && !args.has("intensity")) {
+    throw ParseError(
+        "--schedule needs --intensity (the curve the scheduler acts on)");
+  }
+  return parsed;
+}
+
+/// Scheduler tunables from the shared flags (--latency-bound overrides
+/// the default 30 ms GreenStream-style budget).
+inline ScheduleConfig schedule_config_from(const Args& args) {
+  ScheduleConfig config;
+  config.max_added_latency_ms =
+      args.get_double("latency-bound", config.max_added_latency_ms);
+  if (config.max_added_latency_ms < 0) {
+    throw ParseError("--latency-bound must be >= 0 ms");
+  }
+  return config;
+}
+
+/// Index of a registered metro preset in registration order — the
+/// hop-distance coordinate green routing uses (the registry order is the
+/// metro chain).
+inline std::size_t metro_registry_index(const std::string& metro_name) {
+  const std::vector<std::string> names = MetroRegistry::instance().names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == metro_name) return i;
+  }
+  throw InvalidArgument("metro '" + metro_name +
+                        "' is not a registry preset (valid: " +
+                        MetroRegistry::instance().names_joined() + ")");
+}
+
+/// The serving-grid candidates for green routing, index-aligned with the
+/// metro registry: each remote metro serves from its region's default
+/// grid, while the home slot carries the user-side curve itself (which
+/// may be a preset, the metro default, or a measured CSV curve).
+inline std::vector<const IntensityCurve*> serving_curves(
+    const std::string& home_metro, const IntensityCurve& user_curve) {
+  const IntensityRegistry& intensity = IntensityRegistry::instance();
+  std::vector<const IntensityCurve*> serving;
+  for (const std::string& name : MetroRegistry::instance().names()) {
+    serving.push_back(name == home_metro ? &user_curve
+                                         : &intensity.default_for_metro(name));
+  }
+  return serving;
 }
 
 /// Shared --threads knob: worker threads for sharded generation, the
@@ -107,6 +204,14 @@ inline TraceFormat trace_format_from(const Args& args,
   return trace_format_from_string(args.get_or(flag, "auto"));
 }
 
+/// The --seed knob, defaulting to the synthetic generator's master seed:
+/// it steers both the no---trace generation fallback and the scheduler's
+/// preload draws, so one flag pins a whole run.
+inline std::uint64_t seed_from(const Args& args, std::uint64_t fallback) {
+  return static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<std::int64_t>(fallback)));
+}
+
 /// Loads --trace PATH (CSV or binary, per --format / sniffing), or
 /// generates a scaled synthetic month when the flag is absent
 /// (--days / --seed / --metro apply to the generated fallback).
@@ -117,8 +222,7 @@ inline Trace load_or_generate(const Args& args) {
   TraceConfig config =
       TraceConfig::london_month_scaled(args.get_double("days", 10));
   config.metro = metro_flag(args);
-  config.seed = static_cast<std::uint64_t>(
-      args.get_int("seed", static_cast<std::int64_t>(config.seed)));
+  config.seed = seed_from(args, config.seed);
   config.threads = threads_from(args);
   std::cout << "(no --trace given: generating a scaled synthetic month, "
             << config.days << " days, seed " << config.seed << ", metro "

@@ -1,5 +1,6 @@
 // cmd_ledger — per-user carbon credit accounting over a trace.
 #include <iostream>
+#include <optional>
 
 #include "cli/cli_common.h"
 #include "cli/commands.h"
@@ -11,19 +12,58 @@ namespace cl::cli {
 
 int cmd_ledger(const Args& args) {
   validate_intensity_flag(args);
+  const ScheduleMode schedule = schedule_from(args);
   const Trace trace = load_or_generate(args);
   const Metro& metro = resolve_metro(args, trace);
   const IntensityCurve* intensity = intensity_from(args, metro.name());
   const Analyzer analyzer(metro, sim_config_from(args));
-  const SimResult result = analyzer.simulate(trace);
+  const SimResult base = analyzer.simulate(trace);
+
+  // Under a preload schedule the ledgers account the *scheduled* run —
+  // credits should reflect the traffic users actually carried. A flat
+  // curve leaves the scheduler inert, so `result` stays `base` and the
+  // ledger output is byte-identical to the unscheduled run.
+  std::optional<CarbonScheduler> scheduler;
+  if (schedule != ScheduleMode::kOff) {
+    scheduler.emplace(*intensity, schedule_config_from(args));
+  }
+  SimResult preloaded;
+  const SimResult* result = &base;
+  if (scheduler && schedule_preloads(schedule) && !scheduler->inert()) {
+    preloaded = analyzer.simulate(scheduler->schedule_preload(
+        trace, seed_from(args, TraceConfig{}.seed)));
+    result = &preloaded;
+  }
+
   for (const auto& params : analyzer.models()) {
-    const CarbonLedger ledger(result, params);
+    const CarbonLedger ledger(*result, params);
     std::cout << "\n";
     print_ledger_summary(std::cout, ledger);
     if (intensity) {
       std::cout << "\n";
       print_ledger_carbon(std::cout, ledger, *intensity);
     }
+  }
+
+  if (scheduler) {
+    const std::size_t home = metro_registry_index(metro.name());
+    const std::size_t hours = result->hourly.size();
+    const RoutingPlan plan =
+        schedule_routes(schedule)
+            ? scheduler->plan_routes(serving_curves(metro.name(), *intensity),
+                                     home, hours)
+            : scheduler->home_plan(home, hours);
+    std::vector<ScheduleOutcome> outcomes;
+    for (const auto& params : analyzer.models()) {
+      const EnergyAccountant accountant{CostFunctions(params)};
+      outcomes.push_back(
+          scheduler->assess(base.hourly, result->hourly, accountant, plan));
+    }
+    std::cout << "\n";
+    print_schedule_report(std::cout, *scheduler, plan,
+                          schedule_preloads(schedule),
+                          schedule_routes(schedule), base.offload(),
+                          result->offload(), outcomes);
   }
   return 0;
 }
@@ -47,6 +87,7 @@ commands:
   simulate  [--trace PATH] [--metro NAME] [--format auto|csv|binary]
             [--qb R] [--cross-isp] [--mixed-bitrate]
             [--matcher existence|capacity] [--intensity NAME] [--threads N]
+            [--schedule off|preload|route|all] [--latency-bound MS]
             [--timing]
                                   aggregate hybrid-vs-CDN savings report
                                   (--timing adds load/group/sweep/merge
@@ -58,6 +99,7 @@ commands:
   plan      [--target S] [--qb R] [--minutes M] [--metro NAME]
                                   capacities & popularity for targets
   ledger    [--trace PATH] [--metro NAME] [--qb R] [--intensity NAME]
+            [--schedule off|preload|route|all] [--latency-bound MS]
                                   per-user carbon credit ledger
 
 Full flag-by-flag reference with examples: docs/CLI.md (kept in lockstep
@@ -85,7 +127,8 @@ trace-consuming commands default to the trace's own metro):
       R"(
 --intensity NAME weights energy by a 24-hour grid carbon-intensity curve
 (gCO2/kWh) and adds absolute-gCO2 / weighted-CCT output; "metro" picks
-the grid registered alongside the selected metro. Presets:
+the grid registered alongside the selected metro, and a CSV file path
+loads a measured ElectricityMap-style 24-hour export. Presets:
 )";
   for (const auto& preset : IntensityRegistry::instance().presets()) {
     std::cout << "  " << preset.name;
@@ -94,6 +137,15 @@ the grid registered alongside the selected metro. Presets:
     }
     std::cout << preset.description << "\n";
   }
+  std::cout <<
+      R"(
+--schedule MODE acts on the intensity curve (requires --intensity):
+"preload" shifts sessions into the grid's daily trough, "route" serves
+each hour from the cleanest metro within the --latency-bound MS added
+latency budget (default 30, 25 ms per hop), "all" does both. Under a
+flat curve the scheduler is inert and results stay bit-identical to
+unscheduled.
+)";
   return exit_code;
 }
 

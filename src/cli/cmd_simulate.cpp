@@ -23,13 +23,24 @@ void print_timing(std::ostream& out, const char* label, double seconds) {
 
 int cmd_simulate(const Args& args) {
   validate_intensity_flag(args);
+  const ScheduleMode schedule = schedule_from(args);
   const bool want_timing = args.has("timing");
   using Clock = std::chrono::steady_clock;
 
   // `.cltrace` input maps zero-copy — the simulator consumes the file's
   // column blocks directly, so "load" is just mmap + column validation.
+  // The one exception: a preload schedule transforms session rows, so
+  // that path loads rows and transposes once (the transform's input
+  // rows stay alive alongside the view).
   const auto load_start = Clock::now();
-  const TraceView view = load_view_or_generate(args);
+  Trace rows;
+  TraceView view;
+  if (schedule_preloads(schedule)) {
+    rows = load_or_generate(args);
+    view = TraceView::from_trace(rows, threads_from(args));
+  } else {
+    view = load_view_or_generate(args);
+  }
   const double load_seconds =
       std::chrono::duration<double>(Clock::now() - load_start).count();
 
@@ -72,6 +83,42 @@ int cmd_simulate(const Args& args) {
               << intensity->mean() << " gCO2/kWh, min " << intensity->min()
               << ", max " << intensity->max() << "):\n";
     print_carbon_report(std::cout, analyzer.carbon_report(result, *intensity));
+  }
+
+  if (schedule != ScheduleMode::kOff) {
+    // Everything above is byte-identical to the unscheduled run — the
+    // schedule section only *appends*, and under a flat curve the
+    // scheduler is inert so the appended numbers repeat the unscheduled
+    // ones exactly (the flat no-op contract, DESIGN.md §11).
+    const CarbonScheduler scheduler(*intensity, schedule_config_from(args));
+    SimResult preloaded_result;
+    const SimResult* scheduled = &result;
+    if (schedule_preloads(schedule) && !scheduler.inert()) {
+      const Trace shifted =
+          scheduler.schedule_preload(rows, seed_from(args, TraceConfig{}.seed));
+      preloaded_result =
+          HybridSimulator(metro, config)
+              .run(TraceView::from_trace(shifted, config.threads), nullptr);
+      scheduled = &preloaded_result;
+    }
+    const std::size_t home = metro_registry_index(metro.name());
+    const std::size_t hours = scheduled->hourly.size();
+    const RoutingPlan plan =
+        schedule_routes(schedule)
+            ? scheduler.plan_routes(serving_curves(metro.name(), *intensity),
+                                    home, hours)
+            : scheduler.home_plan(home, hours);
+    std::vector<ScheduleOutcome> outcomes;
+    for (const auto& params : analyzer.models()) {
+      const EnergyAccountant accountant{CostFunctions(params)};
+      outcomes.push_back(
+          scheduler.assess(result.hourly, scheduled->hourly, accountant, plan));
+    }
+    std::cout << "\n";
+    print_schedule_report(std::cout, scheduler, plan,
+                          schedule_preloads(schedule),
+                          schedule_routes(schedule), result.offload(),
+                          scheduled->offload(), outcomes);
   }
   return 0;
 }

@@ -80,6 +80,40 @@ void print_ledger_carbon(std::ostream& out, const CarbonLedger& ledger,
   table.print(out);
 }
 
+void print_schedule_report(std::ostream& out, const CarbonScheduler& scheduler,
+                           const RoutingPlan& plan, bool preload_active,
+                           bool routing_active, double unscheduled_offload,
+                           double scheduled_offload,
+                           const std::vector<ScheduleOutcome>& outcomes) {
+  out << "schedule under intensity " << scheduler.user_curve().name() << ":\n";
+  if (scheduler.inert()) {
+    out << "  flat curve, no intensity signal: scheduler inert, results "
+           "bit-identical to unscheduled\n";
+  } else {
+    if (preload_active) {
+      const PreloadConfig window = scheduler.trough_window();
+      out << "  preload: trough window [" << fmt(window.window_start_hour, 0)
+          << ":00, " << fmt(window.window_end_hour, 0) << ":00), adoption "
+          << fmt_pct(window.adoption) << "\n";
+    }
+    if (routing_active) {
+      out << "  routing: " << plan.hours_routed_away() << "/"
+          << plan.hours.size() << " hours served off-home, mean added latency "
+          << fmt(plan.mean_added_latency_ms(), 1) << " ms (bound "
+          << fmt(scheduler.config().max_added_latency_ms, 0) << " ms)\n";
+    }
+  }
+  out << "  offload G: " << fmt_pct(unscheduled_offload) << " unscheduled -> "
+      << fmt_pct(scheduled_offload) << " scheduled\n";
+  TextTable table({"model", "unscheduled (kgCO2)", "scheduled (kgCO2)",
+                   "reduction"});
+  for (const auto& o : outcomes) {
+    table.add_row({o.model, fmt(o.unscheduled_g / 1000.0, 2),
+                   fmt(o.scheduled_g / 1000.0, 2), fmt_pct(o.reduction)});
+  }
+  table.print(out);
+}
+
 void print_carbon_report(std::ostream& out,
                          const std::vector<CarbonOutcome>& outcomes) {
   TextTable table({"model", "baseline (kgCO2)", "hybrid (kgCO2)",

@@ -26,6 +26,7 @@ Trace generate_live_event(const Metro& metro, const LiveEventConfig& config,
 
   Trace trace;
   trace.span = Seconds{span_s};
+  trace.metro_name = metro.name();
   trace.sessions.reserve(config.viewers);
   for (std::uint32_t u = 0; u < config.viewers; ++u) {
     SessionRecord s;

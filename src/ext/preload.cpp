@@ -18,6 +18,7 @@ Trace apply_preload(const Trace& trace, const PreloadConfig& config,
   Rng rng(seed ^ 0x9d39247e33776d41ULL);
   Trace out;
   out.span = trace.span;
+  out.metro_name = trace.metro_name;
   out.sessions.reserve(trace.sessions.size());
   const double span_s = trace.span.value();
   for (SessionRecord s : trace.sessions) {
@@ -25,9 +26,16 @@ Trace apply_preload(const Trace& trace, const PreloadConfig& config,
       const double day = std::floor(s.start / 86400.0);
       const double hour = rng.uniform(config.window_start_hour,
                                       config.window_end_hour);
-      s.start = day * 86400.0 + hour * 3600.0;
-      if (s.start >= span_s) s.start = span_s - 1.0;
-      if (s.end() > span_s) s.duration = span_s - s.start;
+      const double target = day * 86400.0 + hour * 3600.0;
+      // On a partial final day the window can fall past the end of the
+      // span; piling those sessions onto span_s − 1 would distort the
+      // final-day swarm sizes, so they stay where they were. The rng
+      // draws above happen either way, keeping every other session's
+      // placement independent of the span.
+      if (target < span_s) {
+        s.start = target;
+        if (s.end() > span_s) s.duration = span_s - s.start;
+      }
     }
     out.sessions.push_back(s);
   }

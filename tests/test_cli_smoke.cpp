@@ -405,4 +405,112 @@ TEST(CliSmoke, ModelIntensityMetroKeywordFollowsMetroPairing) {
   EXPECT_NE(result.output.find("gCO2/GB"), std::string::npos);
 }
 
+// --------------------------------------------------------- --schedule flag
+
+TEST(CliSmoke, SimulateScheduleFlatIsNoOp) {
+  // The flat no-op contract at the CLI level: --schedule all under
+  // --intensity flat must only *append* the schedule section — every
+  // number above it stays byte-identical, the scheduler reports itself
+  // inert, and the reduction column is exactly 0.
+  const std::string trace = temp_trace_path() + ".schedflat";
+  const RunResult gen = run_cli("generate --out " + trace +
+                                " --preset small --days 1 --seed 13 --quiet");
+  ASSERT_EQ(gen.exit_code, 0) << gen.output;
+  const RunResult without =
+      run_cli("simulate --trace " + trace + " --intensity flat");
+  const RunResult with = run_cli("simulate --trace " + trace +
+                                 " --intensity flat --schedule all");
+  ASSERT_EQ(without.exit_code, 0) << without.output;
+  ASSERT_EQ(with.exit_code, 0) << with.output;
+  ASSERT_GE(with.output.size(), without.output.size());
+  EXPECT_EQ(with.output.substr(0, without.output.size()), without.output);
+  EXPECT_NE(with.output.find("scheduler inert"), std::string::npos);
+  EXPECT_NE(with.output.find("0.0%"), std::string::npos);
+  std::filesystem::remove(trace);
+}
+
+TEST(CliSmoke, SimulateScheduleAddsScheduleSection) {
+  const std::string trace = temp_trace_path() + ".scheduk";
+  const RunResult gen = run_cli("generate --out " + trace +
+                                " --preset small --days 1 --seed 13 --quiet");
+  ASSERT_EQ(gen.exit_code, 0) << gen.output;
+  const RunResult result = run_cli("simulate --trace " + trace +
+                                   " --intensity uk_2018 --schedule all");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("schedule under intensity uk_2018"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("trough window"), std::string::npos);
+  EXPECT_NE(result.output.find("routing:"), std::string::npos);
+  EXPECT_NE(result.output.find("reduction"), std::string::npos);
+  std::filesystem::remove(trace);
+}
+
+TEST(CliSmoke, ScheduleRequiresIntensity) {
+  const RunResult result = run_cli("simulate --days 1 --schedule all");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("argument error"), std::string::npos);
+  EXPECT_NE(result.output.find("--intensity"), std::string::npos);
+}
+
+TEST(CliSmoke, ScheduleRejectsUnknownMode) {
+  const RunResult result =
+      run_cli("simulate --days 1 --intensity flat --schedule sideways");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("unknown schedule mode 'sideways'"),
+            std::string::npos);
+}
+
+TEST(CliSmoke, LedgerScheduleFlatOnlyAppends) {
+  const std::string trace = temp_trace_path() + ".ledsched";
+  const RunResult gen = run_cli("generate --out " + trace +
+                                " --preset small --days 1 --seed 13 --quiet");
+  ASSERT_EQ(gen.exit_code, 0) << gen.output;
+  const RunResult without =
+      run_cli("ledger --trace " + trace + " --intensity flat");
+  const RunResult with = run_cli("ledger --trace " + trace +
+                                 " --intensity flat --schedule preload");
+  ASSERT_EQ(without.exit_code, 0) << without.output;
+  ASSERT_EQ(with.exit_code, 0) << with.output;
+  EXPECT_TRUE(lines_are_ordered_subsequence(without.output, with.output))
+      << "without:\n" << without.output << "\nwith:\n" << with.output;
+  EXPECT_NE(with.output.find("scheduler inert"), std::string::npos);
+  std::filesystem::remove(trace);
+}
+
+TEST(CliSmoke, IntensityAcceptsCsvFilePath) {
+  // A 24-row ElectricityMap-style export is accepted anywhere a preset
+  // name is, and the curve takes the file's stem as its name.
+  const std::string csv =
+      (std::filesystem::temp_directory_path() / "my_grid.csv").string();
+  {
+    std::ofstream out(csv);
+    out << "hour,gCO2_per_kwh\n";
+    for (int h = 0; h < 24; ++h) out << h << "," << (100 + 10 * h) << "\n";
+  }
+  const std::string trace = temp_trace_path() + ".csvcurve";
+  const RunResult gen = run_cli("generate --out " + trace +
+                                " --preset small --days 1 --seed 13 --quiet");
+  ASSERT_EQ(gen.exit_code, 0) << gen.output;
+  const RunResult result =
+      run_cli("simulate --trace " + trace + " --intensity " + csv);
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("carbon under intensity my_grid"),
+            std::string::npos);
+  std::filesystem::remove(csv);
+  std::filesystem::remove(trace);
+}
+
+TEST(CliSmoke, IntensityUnknownNameStillListsPresets) {
+  // The CSV branch must not swallow the unknown-preset error for names
+  // that are not files.
+  const RunResult result =
+      run_cli("simulate --days 1 --intensity not_a_file_or_preset");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find(
+                "unknown intensity preset 'not_a_file_or_preset'"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("uk_2018"), std::string::npos);
+  EXPECT_NE(result.output.find("CSV"), std::string::npos);
+}
+
 }  // namespace

@@ -7,10 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
 
 #include "energy/accounting.h"
 #include "sim/hybrid_sim.h"
 #include "trace/synthetic.h"
+#include "trace/trace_io.h"
 #include "trace/trace_stats.h"
 #include "util/error.h"
 
@@ -87,6 +89,64 @@ TEST(Preload, ConcentrationRaisesOffload) {
   EXPECT_GT(g_pre, g_base + 0.02);
 }
 
+TEST(Preload, KeepsMetroName) {
+  // Regression: apply_preload used to rebuild the Trace copying only the
+  // span, silently dropping the metro stamp (so resolve_metro fell back
+  // to defaults downstream).
+  Trace trace = base_trace();
+  ASSERT_FALSE(trace.metro_name.empty());
+  const Trace out = apply_preload(trace, {.adoption = 0.5}, 1);
+  EXPECT_EQ(out.metro_name, trace.metro_name);
+}
+
+TEST(Preload, PartialFinalDayLeavesOverflowUnmoved) {
+  // Regression: on a trace whose last day is partial, sessions whose
+  // window target falls past the span used to be clamped onto the single
+  // timestamp span−1, piling up an artificial swarm spike there. They
+  // must stay at their original start instead.
+  const double span_s = 1.2 * 86400.0;  // final day covers only ~4.8 h
+  Trace trace;
+  trace.span = Seconds{span_s};
+  trace.metro_name = "london_top5";
+  for (std::uint32_t u = 0; u < 40; ++u) {
+    SessionRecord s;
+    s.user = u;
+    s.household = u;
+    s.content = 1;
+    // Half the sessions on day 0 (movable), half on the partial final
+    // day after its 07:00–09:00 window would end past the span.
+    s.start = (u % 2 == 0) ? 40000.0 + u : 86400.0 + 8000.0 + u;
+    s.duration = 600.0;
+    trace.sessions.push_back(s);
+  }
+  const PreloadConfig config{.adoption = 1.0,
+                             .window_start_hour = 7.0,
+                             .window_end_hour = 9.0};
+  const Trace out = apply_preload(trace, config, 5);
+  ASSERT_EQ(out.size(), trace.size());
+
+  std::size_t day0_moved = 0, day1_unmoved = 0, piled_at_end = 0;
+  for (const auto& s : out.sessions) {
+    if (s.start >= span_s - 1.5) ++piled_at_end;
+    if (s.start < 86400.0) {
+      // Day-0 sessions all land inside the window.
+      const double hour = s.start / 3600.0;
+      EXPECT_GE(hour, 7.0 - 1e-9);
+      EXPECT_LT(hour, 9.0 + 1e-9);
+      ++day0_moved;
+    } else {
+      // Day-1 targets (86400 + 7·3600 = 111600 s) overflow the 103680 s
+      // span, so these sessions keep their original starts.
+      EXPECT_GE(s.start, 86400.0 + 8000.0);
+      EXPECT_LT(s.start, 86400.0 + 8000.0 + 40.0);
+      ++day1_unmoved;
+    }
+  }
+  EXPECT_EQ(day0_moved, 20u);
+  EXPECT_EQ(day1_unmoved, 20u);
+  EXPECT_EQ(piled_at_end, 0u);
+}
+
 TEST(Preload, RejectsBadConfig) {
   const Trace trace = base_trace();
   EXPECT_THROW(apply_preload(trace, {.adoption = 1.5}, 1), InvalidArgument);
@@ -145,6 +205,28 @@ TEST(Live, RejectsBadConfig) {
   LiveEventConfig config;
   config.viewers = 0;
   EXPECT_THROW(generate_live_event(metro(), config, 1), InvalidArgument);
+}
+
+TEST(Live, StampsMetroName) {
+  // Regression: generate_live_event sampled ISPs/ExPs from a named Metro
+  // but left the trace's metro_name empty.
+  LiveEventConfig config;
+  config.viewers = 50;
+  const Trace trace = generate_live_event(metro(), config, 5);
+  EXPECT_EQ(trace.metro_name, metro().name());
+}
+
+TEST(Live, MetroSurvivesCsvRoundTrip) {
+  LiveEventConfig config;
+  config.viewers = 50;
+  const Trace trace = generate_live_event(metro(), config, 5);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cl_live_metro.csv").string();
+  write_trace_file(path, trace);
+  const Trace back = read_trace_file(path);
+  std::filesystem::remove(path);
+  EXPECT_EQ(back.metro_name, metro().name());
+  ASSERT_EQ(back.size(), trace.size());
 }
 
 // ---- edge cache ----
