@@ -85,13 +85,21 @@ commands:
             [--to auto|csv|binary] [--threads N]
                                   convert between CSV and binary .cltrace
   simulate  [--trace PATH] [--metro NAME] [--format auto|csv|binary]
-            [--qb R] [--cross-isp] [--mixed-bitrate]
+            [--qb R] [--cross-isp] [--mixed-bitrate] [--overload]
             [--matcher existence|capacity] [--intensity NAME] [--threads N]
             [--schedule off|preload|route|all] [--latency-bound MS]
             [--timing]
                                   aggregate hybrid-vs-CDN savings report
                                   (--timing adds load/group/sweep/merge
-                                   wall-time lines)
+                                   wall-time lines; --overload caps peer
+                                   transfers at warm upload capacity)
+  live      [--preset ramp|spike] [--viewers N] [--start S] [--days D]
+            [--seed S] [--metro NAME] [--out PATH] [--trace PATH]
+            [--format auto|csv|binary] [--qb R] [--intensity NAME]
+            [--threads N]
+                                  flash-crowd scenario: burst + churn +
+                                  bitrate shift, simulated with the
+                                  overload (CDN-spill) model on
   swarm     [--trace PATH] --content ID [--isp I] [--metro NAME] [--qb R]
                                   one swarm, simulation vs closed form
   model     [--capacity C] [--qb R] [--metro NAME] [--intensity NAME]

@@ -58,6 +58,7 @@ int cmd_simulate(const Args& args) {
   config.collect_swarms = true;
   config.collect_hourly = intensity != nullptr;
   config.collect_per_user = false;
+  config.overload = args.has("overload");
   SimPhaseTiming timing;
   const SimResult result = HybridSimulator(metro, config)
                                .run(view, want_timing ? &timing : nullptr);
@@ -78,6 +79,11 @@ int cmd_simulate(const Args& args) {
   }
 
   print_aggregate(std::cout, analyzer.aggregate(result));
+  if (config.overload) {
+    std::cout << "\noverload: "
+              << result.overload_spill.value() / 8e9
+              << " GB of peer demand spilled back to the CDN\n";
+  }
   if (intensity) {
     std::cout << "\ncarbon under intensity " << intensity->name() << " (mean "
               << intensity->mean() << " gCO2/kWh, min " << intensity->min()

@@ -26,6 +26,8 @@ int cmd_convert(const Args& args);
 ///   --metro NAME (defaults to the trace header's metro),
 ///   --format auto|csv|binary, --qb R,
 ///   --cross-isp, --mixed-bitrate, --matcher existence|capacity,
+///   --overload (cap peer transfers at the warm members' upload
+///   capacity; excess spills back to the CDN),
 ///   --threads N (sharded generation/simulation/analysis)
 int cmd_simulate(const Args& args);
 
@@ -40,6 +42,16 @@ int cmd_model(const Args& args);
 /// `plan` — invert the model: capacities for savings/carbon targets.
 ///   --target S, --qb R, --minutes M, --metro NAME
 int cmd_plan(const Args& args);
+
+/// `live` — flash-crowd scenario: generate a live-event burst (spike or
+/// ramp preset: arrival burst, churn with rejoin, mid-event bitrate
+/// shift), simulate it with the overload model on, and print the savings
+/// trajectory through the spike.
+///   --preset ramp|spike, --viewers N, --start S, --days D, --seed S,
+///   --metro NAME, --out PATH [--format auto|csv|binary] (save the
+///   trace), --trace PATH (replay a saved trace instead), --qb R,
+///   --intensity NAME, --threads N
+int cmd_live(const Args& args);
 
 /// `ledger` — per-user carbon credit ledger over a trace.
 ///   --trace PATH (or --preset), --metro NAME, --qb R

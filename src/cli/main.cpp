@@ -6,6 +6,7 @@
 //   consumelocal swarm    --trace month.csv --content 0 --isp 0
 //   consumelocal model    --capacity 50 --qb 1.0
 //   consumelocal plan     --target 0.3
+//   consumelocal live     --preset spike --viewers 20000
 //   consumelocal ledger   --trace month.csv
 #include <exception>
 #include <iostream>
@@ -19,7 +20,8 @@ int main(int argc, char** argv) {
   using namespace cl::cli;
   try {
     const Args args = Args::parse(
-        argc, argv, {"cross-isp", "mixed-bitrate", "help", "quiet", "timing"});
+        argc, argv, {"cross-isp", "mixed-bitrate", "help", "overload",
+                     "quiet", "timing"});
     if (args.has("help")) return usage(0);
     const std::string& command = args.command();
     int code = 0;
@@ -35,6 +37,8 @@ int main(int argc, char** argv) {
       code = cmd_model(args);
     } else if (command == "plan") {
       code = cmd_plan(args);
+    } else if (command == "live") {
+      code = cmd_live(args);
     } else if (command == "ledger") {
       code = cmd_ledger(args);
     } else {

@@ -3,14 +3,26 @@
 //
 // A live broadcast is the best case for peer assistance: every viewer
 // consumes the same content at the same time, so the instantaneous swarm
-// equals the whole audience. This module synthesises a live-event trace
-// (viewers join around the event start with exponential-ish jitter and
-// leave after log-normal watch times) that plugs into the standard
-// simulator and model.
+// equals the whole audience. This module synthesises live-event traces
+// that plug into the standard simulator and model, in two flavours:
+//
+//  * generate_live_event — the original one-shot audience: viewers join
+//    around the event start with exponential jitter and leave after
+//    log-normal watch times.
+//  * generate_flash_crowd — the full scenario engine: a RateProfile
+//    (sim/event_engine.h) drives the arrival burst (spike or ramp
+//    presets), viewers churn (fail mid-stream and probabilistically
+//    rejoin after a delay), and a mid-event bitrate shift downgrades a
+//    fraction of the audience — each viewer phase emits its own session
+//    segment, so the standard simulator replays the scenario unchanged.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <string>
+#include <vector>
 
+#include "sim/event_engine.h"
 #include "topology/placement.h"
 #include "trace/bitrate.h"
 #include "trace/session.h"
@@ -32,9 +44,69 @@ struct LiveEventConfig {
 };
 
 /// Generates the live-event trace over a metro's ISPs. Deterministic in
-/// `seed`; viewers get fresh user ids 0..viewers-1.
+/// `seed`; viewers get fresh user ids 0..viewers-1. Joiners whose jitter
+/// lands past the span are dropped (they never start watching), with
+/// their rng draws consumed so every other viewer's placement is
+/// unchanged.
 [[nodiscard]] Trace generate_live_event(const Metro& metro,
                                         const LiveEventConfig& config,
                                         std::uint64_t seed);
+
+/// Peer churn during a flash crowd: failures strike at an exponential
+/// hazard while a viewer is watching (WebCloud-style browser peers that
+/// navigate away, drop Wi-Fi, background the tab); a failed viewer
+/// rejoins with some probability after an exponential delay and resumes
+/// the remaining watch time as a new session segment.
+struct ChurnConfig {
+  double failure_rate_per_hour = 0;  ///< hazard while watching (0 = off)
+  double rejoin_probability = 0.75;  ///< P[failed viewer comes back]
+  double mean_rejoin_delay_s = 30;   ///< mean exponential rejoin delay
+};
+
+/// Configuration of one flash-crowd scenario.
+struct FlashCrowdConfig {
+  /// Arrival burst shape, viewers/second over trace time.
+  RateProfile arrivals = RateProfile::constant(1.0);
+  double mean_watch_s = 1500;    ///< mean log-normal watch time
+  double watch_sigma = 0.6;      ///< log-normal sigma of watch time
+  double span_days = 1;          ///< trace span
+  std::uint32_t content_id = 0;  ///< content id of the broadcast
+  /// Device mix over bitrate classes (same skew as LiveEventConfig).
+  std::array<double, kBitrateClasses> bitrate_mix{0.45, 0.30, 0.15, 0.10};
+  ChurnConfig churn;
+  /// Mid-event bitrate shift (the CDN's congestion response): at
+  /// `shift_time_s`, each active viewer above the lowest class drops one
+  /// bitrate class with probability `shift_fraction`, closing the current
+  /// segment and opening a downgraded one. Negative time disables it.
+  double shift_time_s = -1;
+  double shift_fraction = 0;
+};
+
+/// Named scenario presets for `flash_crowd_preset`, sorted:
+///   ramp  — audience builds in rising steps over the 30 minutes before
+///           the event (pre-game tune-in), light churn, no bitrate shift.
+///   spike — a premiere/kickoff surge: a small warm-up trickle, ~85 % of
+///           the audience inside three minutes, heavy churn, and a
+///           bitrate shift five minutes in.
+[[nodiscard]] std::vector<std::string> flash_crowd_preset_names();
+
+/// Builds a preset scenario sized for `viewers` expected arrivals around
+/// `event_start_s` (>= 1800 s so the ramp's build-up fits in the trace)
+/// over `span_days`. Unknown names throw InvalidArgument listing the
+/// valid presets.
+[[nodiscard]] FlashCrowdConfig flash_crowd_preset(const std::string& name,
+                                                  std::uint32_t viewers,
+                                                  double event_start_s,
+                                                  double span_days);
+
+/// Runs the flash-crowd event loop (EventQueue-driven: arrivals, stops,
+/// failures, rejoins, the bitrate shift) and returns the resulting trace.
+/// Deterministic in `seed`; viewers get fresh user ids in arrival order,
+/// and a churned/downgraded viewer contributes one session segment per
+/// watching phase. Segments starting past the span are dropped; segments
+/// crossing it are clamped.
+[[nodiscard]] Trace generate_flash_crowd(const Metro& metro,
+                                         const FlashCrowdConfig& config,
+                                         std::uint64_t seed);
 
 }  // namespace cl

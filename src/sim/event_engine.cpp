@@ -1,0 +1,58 @@
+#include "sim/event_engine.h"
+
+#include <limits>
+
+#include "util/error.h"
+
+namespace cl {
+
+RateProfile::RateProfile(std::vector<RatePhase> phases)
+    : phases_(std::move(phases)) {
+  CL_EXPECTS(!phases_.empty());
+  double prev = -1;
+  for (const RatePhase& phase : phases_) {
+    CL_EXPECTS(phase.start_s >= 0);
+    CL_EXPECTS(phase.start_s > prev);
+    CL_EXPECTS(phase.rate_per_s >= 0);
+    prev = phase.start_s;
+    max_rate_ = std::max(max_rate_, phase.rate_per_s);
+  }
+  CL_EXPECTS(max_rate_ > 0);
+}
+
+RateProfile RateProfile::constant(double rate_per_s) {
+  return RateProfile({{0.0, rate_per_s}});
+}
+
+double RateProfile::rate_at(double t) const {
+  if (t < phases_.front().start_s) return 0.0;
+  // Linear scan from the back: profiles are a handful of phases, and the
+  // thinning loop queries monotonically increasing times anyway.
+  for (std::size_t i = phases_.size(); i-- > 0;) {
+    if (t >= phases_[i].start_s) return phases_[i].rate_per_s;
+  }
+  return 0.0;
+}
+
+double RateProfile::expected_arrivals(double horizon_s) const {
+  double sum = 0;
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    const double begin = std::min(phases_[i].start_s, horizon_s);
+    const double end = i + 1 < phases_.size()
+                           ? std::min(phases_[i + 1].start_s, horizon_s)
+                           : horizon_s;
+    if (end > begin) sum += phases_[i].rate_per_s * (end - begin);
+  }
+  return sum;
+}
+
+double RateProfile::next_arrival(double now, double limit_s, Rng& rng) const {
+  double t = now;
+  for (;;) {
+    t += rng.exponential(max_rate_);
+    if (t >= limit_s) return std::numeric_limits<double>::infinity();
+    if (rng.uniform() * max_rate_ < rate_at(t)) return t;
+  }
+}
+
+}  // namespace cl

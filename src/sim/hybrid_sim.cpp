@@ -92,7 +92,8 @@ std::vector<SwarmEntry> swarms_by_grouping(
 }
 
 /// Pads the hourly grid of a collect_hourly result to the full
-/// [hours][isps] shape (traffic-free cells stay zero).
+/// [hours][isps] shape (traffic-free cells stay zero), and the overload
+/// spill vector to the same hour count when the overload model ran.
 void pad_hourly(SimResult& result, double span_seconds,
                 std::size_t isp_count) {
   const auto hours = std::max<std::size_t>(
@@ -100,6 +101,9 @@ void pad_hourly(SimResult& result, double span_seconds,
   if (result.hourly.size() < hours) result.hourly.resize(hours);
   for (auto& hour : result.hourly) {
     if (hour.size() < isp_count) hour.resize(isp_count);
+  }
+  if (result.config.overload && result.hourly_spill.size() < hours) {
+    result.hourly_spill.resize(hours);
   }
 }
 

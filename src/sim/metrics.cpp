@@ -37,6 +37,16 @@ void SimResult::merge(const SimResult& other) {
     }
   }
 
+  overload_spill += other.overload_spill;
+  if (!other.hourly_spill.empty()) {
+    if (hourly_spill.size() < other.hourly_spill.size()) {
+      hourly_spill.resize(other.hourly_spill.size());
+    }
+    for (std::size_t h = 0; h < other.hourly_spill.size(); ++h) {
+      hourly_spill[h] += other.hourly_spill[h];
+    }
+  }
+
   for (const auto& [user, traffic] : other.users) {
     UserTraffic& ut = users[user];
     ut.downloaded += traffic.downloaded;

@@ -52,6 +52,18 @@ struct SimResult {
   /// Per-user byte totals (empty unless config.collect_per_user).
   std::unordered_map<std::uint32_t, UserTraffic> users;
 
+  /// Bits the overload model (SimConfig::overload) bounced back to the
+  /// CDN: peer transfers exceeding the warm members' aggregate upload
+  /// capacity in their window. The bounced bits are already re-accounted
+  /// as server bits in `total` / `hourly` — these fields record how much
+  /// moved, so the spill phase of a flash crowd is observable. Zero when
+  /// the overload model is off.
+  Bits overload_spill;
+
+  /// Per-hour spill (config.overload && collect_hourly; padded to the
+  /// span's hour count like `hourly`, empty otherwise).
+  std::vector<Bits> hourly_spill;
+
   /// System-wide offload fraction G achieved by the run.
   [[nodiscard]] double offload() const { return total.offload_fraction(); }
 
@@ -62,7 +74,8 @@ struct SimResult {
 
   /// Folds another partial into this one: sums `total`, element-wise adds
   /// the `hourly` per-ISP grids (growing this grid when `other`'s is
-  /// larger), folds the per-user map, and appends `other.swarms` — so
+  /// larger), sums the overload spill (total and per-hour, same growth
+  /// rule), folds the per-user map, and appends `other.swarms` — so
   /// merging chunk partials in ascending swarm-key order keeps `swarms`
   /// globally key-sorted. `span` takes the larger of the two; `config` is
   /// left untouched (partials of one run share it by construction).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <queue>
+#include <utility>
 
 #include "util/error.h"
 
@@ -14,11 +15,28 @@ QueueSimulator::QueueSimulator(double arrival_rate,
   CL_EXPECTS(static_cast<bool>(service_));
 }
 
+QueueSimulator::QueueSimulator(RateProfile arrivals,
+                               std::function<double(Rng&)> service_sampler)
+    : arrival_rate_(arrivals.max_rate()),
+      profile_(std::move(arrivals)),
+      service_(std::move(service_sampler)) {
+  CL_EXPECTS(static_cast<bool>(service_));
+}
+
 QueueSimulator QueueSimulator::mm_infinity(double arrival_rate,
                                            Seconds mean_service) {
   CL_EXPECTS(mean_service.value() > 0);
   const double mean = mean_service.value();
   return QueueSimulator(arrival_rate, [mean](Rng& rng) {
+    return rng.exponential(1.0 / mean);
+  });
+}
+
+QueueSimulator QueueSimulator::mm_infinity(RateProfile arrivals,
+                                           Seconds mean_service) {
+  CL_EXPECTS(mean_service.value() > 0);
+  const double mean = mean_service.value();
+  return QueueSimulator(std::move(arrivals), [mean](Rng& rng) {
     return rng.exponential(1.0 / mean);
   });
 }
@@ -37,8 +55,16 @@ QueueSimResult QueueSimulator::run(Seconds horizon,
   const double end = horizon.value();
 
   // Min-heap of pending departure times; arrivals generated on the fly.
+  // The constant-rate path draws exactly the sequence it always has; the
+  // profile path thins candidates against λ(t) (sim/event_engine.h) and
+  // returns +inf once candidates pass the horizon, which the `>= end`
+  // break absorbs.
   std::priority_queue<double, std::vector<double>, std::greater<>> departures;
-  double next_arrival = rng.exponential(arrival_rate_);
+  const auto sample_arrival = [&](double after) {
+    return profile_ ? profile_->next_arrival(after, end, rng)
+                    : after + rng.exponential(arrival_rate_);
+  };
+  double next_arrival = sample_arrival(0.0);
 
   QueueSimResult result;
   std::vector<double> time_in_state;  // time spent with L == index
@@ -65,7 +91,7 @@ QueueSimResult QueueSimulator::run(Seconds horizon,
       CL_ENSURES(service >= 0);
       departures.push(next_event + service);
       ++result.arrivals;
-      next_arrival = next_event + rng.exponential(arrival_rate_);
+      next_arrival = sample_arrival(next_event);
     } else {
       departures.pop();
     }

@@ -1,4 +1,4 @@
-// queue_sim.h — event-driven M/M/∞ (and M/G/∞) queue simulator.
+// queue_sim.h — event-driven M/M/∞ (and M/G/∞, Mt/G/∞) queue simulator.
 //
 // The analytical model rests on one stochastic assumption: a content
 // swarm behaves like an M/M/∞ queue, so its occupancy is Poisson(c)
@@ -8,12 +8,20 @@
 // predicts. It validates the assumption independently of the trace-driven
 // simulator and doubles as a generator of steady-state occupancy samples
 // for Monte-Carlo cross-checks.
+//
+// The live-event scenario engine adds a non-homogeneous mode: arrivals
+// driven by a RateProfile (sim/event_engine.h) instead of a constant
+// rate — the Mt/G/∞ queue whose time-varying occupancy is what a flash
+// crowd's swarm looks like. The constant-rate constructors are untouched
+// and draw the exact same rng sequence as before.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
+#include "sim/event_engine.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/units.h"
@@ -40,8 +48,17 @@ class QueueSimulator {
   QueueSimulator(double arrival_rate,
                  std::function<double(Rng&)> service_sampler);
 
+  /// Non-homogeneous arrivals (Mt/G/∞): the profile's λ(t) drives the
+  /// arrival stream via thinning (RateProfile::next_arrival).
+  QueueSimulator(RateProfile arrivals,
+                 std::function<double(Rng&)> service_sampler);
+
   /// Exponential service with the given mean — the M/M/∞ of the paper.
   [[nodiscard]] static QueueSimulator mm_infinity(double arrival_rate,
+                                                  Seconds mean_service);
+
+  /// Exponential service under a burst arrival profile (Mt/M/∞).
+  [[nodiscard]] static QueueSimulator mm_infinity(RateProfile arrivals,
                                                   Seconds mean_service);
 
   /// Deterministic service (M/D/∞) — occupancy is still Poisson(c) by
@@ -55,6 +72,7 @@ class QueueSimulator {
 
  private:
   double arrival_rate_;
+  std::optional<RateProfile> profile_;
   std::function<double(Rng&)> service_;
 };
 

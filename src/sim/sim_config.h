@@ -43,6 +43,20 @@ struct SimConfig {
 
   MatcherKind matcher = MatcherKind::kExistence;
 
+  /// Model swarm upload-capacity overload (the flash-crowd failure mode):
+  /// in each window, peer-delivered bits are capped at the aggregate
+  /// upload capacity q·Δτ of the swarm's *warm* members — peers that
+  /// joined in an earlier window and therefore hold content to serve.
+  /// Freshly joined peers are cold: they demand but cannot yet upload, so
+  /// a synchronized mass join overwhelms the few warm seeds and the
+  /// excess spills back to the CDN (re-accounted as server bits, tallied
+  /// in SimResult::overload_spill / hourly_spill). Membership is constant
+  /// within a stretch and stretch boundaries fall on join events, so only
+  /// the first window of a stretch can overload — from the second window
+  /// on every member is warm and capacity provably covers demand. Off by
+  /// default: steady-state results stay bit-identical to prior runs.
+  bool overload = false;
+
   /// Worker threads for the whole simulation stack: the simulator's
   /// per-swarm sweep (HybridSimulator::run shards swarms across workers)
   /// and the analyzer's sharded reductions (per-swarm savings, daily

@@ -125,7 +125,7 @@ void SwarmSweep::process_stretch(Allocate& allocate, std::uint64_t w0,
     }
     return;
   }
-  if (lone_flat_ && active_.size() == 2) {
+  if (lone_flat_ && active_.size() == 2 && !config_.overload) {
     // Pair stretch, closed form. With two peers in one ISP the flat
     // allocator's counting degenerates: the non-seed peer moves
     // d = ratio·β·Δτ to the first level the pair shares (ExP, else PoP,
@@ -208,41 +208,107 @@ void SwarmSweep::process_stretch(Allocate& allocate, std::uint64_t w0,
     }
   }
   allocate(std::span<const ActivePeer>(active_), seed);
-  const auto total_windows = static_cast<double>(w1 - w0);
 
-  for (std::size_t i = 0; i < active_.size(); ++i) {
-    sweep_kernels::fold_traffic(use_simd_, traffic_lanes(swarm_traffic),
-                                alloc_lanes(alloc_[i]), total_windows);
-    if (config_.collect_per_user) {
-      UserTraffic& ut = out.users[active_[i].user];
-      ut.downloaded += Bits{alloc_[i].downloaded_bits() * total_windows};
-      ut.uploaded += Bits{alloc_[i].upload_bits * total_windows};
+  // Overload model (SimConfig::overload): cap peer transfers in the
+  // stretch's *first* window at the aggregate upload capacity of the warm
+  // members (join_window < w0 — they completed at least one full window
+  // and hold content). Fresh joiners are cold: they demand but cannot
+  // serve. From w0+1 on every member is warm and capacity q·Σβ·Δτ covers
+  // demand min(q/β,1)·Σ_{i≠seed}β·Δτ by construction, so later windows
+  // never overload. Excess moves peer→server lane for that window (the
+  // CDN absorbs what the swarm cannot carry) and is tallied as spill.
+  double spill_bits = 0.0;
+  bool split_first = false;
+  if (config_.overload) {
+    double demand = 0.0;
+    double capacity = 0.0;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      const double* lanes = alloc_lanes(alloc_[i]);
+      demand += lanes[1] + lanes[2] + lanes[3] + lanes[4];
+      if (active_[i].join_window < w0) {
+        capacity += config_.q_over_beta * active_[i].beta * dt;
+      }
+    }
+    if (demand > capacity) {
+      const double scale = capacity > 0 ? capacity / demand : 0.0;
+      spill_alloc_.resize(active_.size());
+      for (std::size_t i = 0; i < active_.size(); ++i) {
+        spill_alloc_[i] = alloc_[i];
+        double* lanes = reinterpret_cast<double*>(&spill_alloc_[i]);
+        double moved = 0.0;
+        for (std::size_t l = 1; l <= 4; ++l) {
+          const double kept = lanes[l] * scale;
+          moved += lanes[l] - kept;
+          lanes[l] = kept;
+        }
+        lanes[0] += moved;  // server absorbs the shortfall
+        lanes[5] *= scale;  // uploads shrink with the served transfers
+        spill_bits += moved;
+      }
+      split_first = true;
+    }
+  }
+  // The stretch folds as two runs: [w0, wm) under the (possibly capped)
+  // first-window allocation and [wm, w1) under the steady one. Without a
+  // spill wm == w1 and the fold sequence is exactly the unsplit one.
+  const std::vector<PeerAllocation>& first_alloc =
+      split_first ? spill_alloc_ : alloc_;
+  const std::uint64_t wm = split_first ? w0 + 1 : w1;
+
+  const auto fold_totals = [&](const std::vector<PeerAllocation>& alloc_row,
+                               double windows) {
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      sweep_kernels::fold_traffic(use_simd_, traffic_lanes(swarm_traffic),
+                                  alloc_lanes(alloc_row[i]), windows);
+      if (config_.collect_per_user) {
+        UserTraffic& ut = out.users[active_[i].user];
+        ut.downloaded += Bits{alloc_row[i].downloaded_bits() * windows};
+        ut.uploaded += Bits{alloc_row[i].upload_bits * windows};
+      }
+    }
+  };
+  fold_totals(first_alloc, static_cast<double>(wm - w0));
+  if (wm < w1) fold_totals(alloc_, static_cast<double>(w1 - wm));
+
+  if (split_first) {
+    out.overload_spill += Bits{spill_bits};
+    if (config_.collect_hourly) {
+      const auto hour =
+          static_cast<std::size_t>(static_cast<double>(w0) * dt / 3600.0);
+      CL_ENSURES(hour < max_hours);
+      if (hour >= out.hourly_spill.size()) out.hourly_spill.resize(hour + 1);
+      out.hourly_spill[hour] += Bits{spill_bits};
     }
   }
   if (config_.collect_hourly) {
-    std::uint64_t w = w0;
-    while (w < w1) {
-      const auto hour =
-          static_cast<std::size_t>(static_cast<double>(w) * dt / 3600.0);
-      const auto hour_end_window = static_cast<std::uint64_t>(
-          std::ceil(static_cast<double>(hour + 1) * 3600.0 / dt));
-      const std::uint64_t chunk_end = std::min(w1, hour_end_window);
-      const auto chunk = static_cast<double>(chunk_end - w);
-      // Grow the partial's grid lazily: only hours this swarm touches
-      // get a row (HybridSimulator::run pads the merged result).
-      CL_ENSURES(hour < max_hours);
-      if (hour >= out.hourly.size()) out.hourly.resize(hour + 1);
-      auto& row = out.hourly[hour];
-      if (row.size() < metro_->isp_count()) {
-        row.resize(metro_->isp_count());
+    const auto fold_hourly = [&](const std::vector<PeerAllocation>& alloc_row,
+                                 std::uint64_t wa, std::uint64_t wb) {
+      std::uint64_t w = wa;
+      while (w < wb) {
+        const auto hour =
+            static_cast<std::size_t>(static_cast<double>(w) * dt / 3600.0);
+        const auto hour_end_window = static_cast<std::uint64_t>(
+            std::ceil(static_cast<double>(hour + 1) * 3600.0 / dt));
+        const std::uint64_t chunk_end = std::min(wb, hour_end_window);
+        const auto chunk = static_cast<double>(chunk_end - w);
+        // Grow the partial's grid lazily: only hours this swarm touches
+        // get a row (HybridSimulator::run pads the merged result).
+        CL_ENSURES(hour < max_hours);
+        if (hour >= out.hourly.size()) out.hourly.resize(hour + 1);
+        auto& row = out.hourly[hour];
+        if (row.size() < metro_->isp_count()) {
+          row.resize(metro_->isp_count());
+        }
+        for (std::size_t i = 0; i < active_.size(); ++i) {
+          sweep_kernels::fold_traffic(use_simd_,
+                                      traffic_lanes(row[active_[i].isp]),
+                                      alloc_lanes(alloc_row[i]), chunk);
+        }
+        w = chunk_end;
       }
-      for (std::size_t i = 0; i < active_.size(); ++i) {
-        sweep_kernels::fold_traffic(use_simd_,
-                                    traffic_lanes(row[active_[i].isp]),
-                                    alloc_lanes(alloc_[i]), chunk);
-      }
-      w = chunk_end;
-    }
+    };
+    fold_hourly(first_alloc, w0, wm);
+    if (wm < w1) fold_hourly(alloc_, wm, w1);
   }
 }
 

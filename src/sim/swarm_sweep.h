@@ -152,6 +152,9 @@ class SwarmSweep {
   std::vector<ActivePeer> active_;
   std::vector<std::int32_t> pos_;
   std::vector<PeerAllocation> alloc_;
+  // Overload-capped copy of alloc_ for a stretch's first window (only
+  // touched when config.overload finds a spill; see process_stretch).
+  std::vector<PeerAllocation> spill_alloc_;
 
   // Event streams of the merge path: crossing-session indices in join
   // order, and packed (window << 24 | idx) leave sort keys.

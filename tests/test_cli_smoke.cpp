@@ -175,6 +175,53 @@ TEST(CliSmoke, GenerateWritesBinaryFormatDirectly) {
   std::filesystem::remove(bin);
 }
 
+// ------------------------------------------------------------ cl live
+
+TEST(CliSmoke, LiveRunsFlashCrowdWithOverloadReport) {
+  const RunResult result = run_cli("live --viewers 800 --threads 2");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("flash crowd (preset 'spike')"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("overload:"), std::string::npos);
+  EXPECT_NE(result.output.find("hourly trajectory"), std::string::npos);
+  EXPECT_NE(result.output.find("Valancius"), std::string::npos);
+}
+
+TEST(CliSmoke, LiveThreadsProduceIdenticalReports) {
+  const RunResult one = run_cli("live --viewers 800 --threads 1");
+  const RunResult seven = run_cli("live --viewers 800 --threads 7");
+  ASSERT_EQ(one.exit_code, 0) << one.output;
+  ASSERT_EQ(seven.exit_code, 0) << seven.output;
+  // Overload accounting included: the report is bit-deterministic in the
+  // thread count, so the printed bytes match exactly.
+  EXPECT_EQ(one.output, seven.output);
+}
+
+TEST(CliSmoke, LiveRejectsUnknownPreset) {
+  const RunResult result = run_cli("live --preset avalanche");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("argument error"), std::string::npos);
+  EXPECT_NE(result.output.find("ramp, spike"), std::string::npos);
+}
+
+TEST(CliSmoke, LiveTraceReplaysThroughSimulateWithOverloadFlag) {
+  const std::string trace = temp_trace_path() + ".live.cltrace";
+  std::filesystem::remove(trace);
+  const RunResult live =
+      run_cli("live --viewers 600 --preset ramp --out " + trace);
+  ASSERT_EQ(live.exit_code, 0) << live.output;
+  ASSERT_TRUE(std::filesystem::exists(trace));
+  const RunResult sim =
+      run_cli("simulate --trace " + trace + " --overload --threads 2");
+  ASSERT_EQ(sim.exit_code, 0) << sim.output;
+  EXPECT_NE(sim.output.find("overload:"), std::string::npos);
+  // Without the flag the overload line must not appear (off by default).
+  const RunResult plain = run_cli("simulate --trace " + trace);
+  ASSERT_EQ(plain.exit_code, 0) << plain.output;
+  EXPECT_EQ(plain.output.find("overload:"), std::string::npos);
+  std::filesystem::remove(trace);
+}
+
 TEST(CliSmoke, ConvertRejectsMissingFlags) {
   const RunResult result = run_cli("convert --in /tmp/nope.csv");
   EXPECT_EQ(result.exit_code, 2);

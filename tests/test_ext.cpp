@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <filesystem>
+#include <map>
 
 #include "energy/accounting.h"
 #include "sim/hybrid_sim.h"
@@ -214,6 +216,51 @@ TEST(Live, StampsMetroName) {
   config.viewers = 50;
   const Trace trace = generate_live_event(metro(), config, 5);
   EXPECT_EQ(trace.metro_name, metro().name());
+}
+
+TEST(Live, LateJoinersAreDroppedNotClampedToSpanEnd) {
+  // Regression: joiners whose exponential jitter landed past the span
+  // used to be clamped to span−1, piling an artificial burst of
+  // zero-length sessions onto the trace's final second. They are dropped
+  // now — with their rng draws still consumed, so the surviving viewers'
+  // placements are unchanged.
+  LiveEventConfig config;
+  config.viewers = 2000;
+  config.span_days = 1;
+  config.event_start_s = 86400.0 - 600.0;  // jitter tail crosses the span
+  config.join_jitter_s = 600.0;
+  const Trace trace = generate_live_event(metro(), config, 5);
+  EXPECT_LT(trace.size(), 2000u);  // some joiners landed past the span
+  EXPECT_GT(trace.size(), 0u);
+  for (const auto& s : trace.sessions) {
+    EXPECT_LT(s.start, 86400.0);
+    EXPECT_LE(s.end(), 86400.0);
+  }
+  // No pile-up at the final second.
+  std::size_t last_second = 0;
+  for (const auto& s : trace.sessions) {
+    if (s.start >= 86400.0 - 1.0) ++last_second;
+  }
+  EXPECT_LT(last_second, 25u);
+
+  // Same seed, wider span: every session kept by the 1-day run matches
+  // its 2-day counterpart field-for-field (the drop consumed the same
+  // draws), and the extra sessions are exactly the late joiners.
+  LiveEventConfig wide = config;
+  wide.span_days = 2;
+  const Trace full = generate_live_event(metro(), wide, 5);
+  EXPECT_GT(full.size(), trace.size());
+  std::map<std::uint32_t, const SessionRecord*> by_user;
+  for (const auto& s : full.sessions) by_user[s.user] = &s;
+  for (const auto& s : trace.sessions) {
+    ASSERT_TRUE(by_user.count(s.user));
+    const SessionRecord& f = *by_user[s.user];
+    EXPECT_EQ(s.isp, f.isp);
+    EXPECT_EQ(s.bitrate, f.bitrate);
+    EXPECT_DOUBLE_EQ(s.start, f.start);
+    // Durations may differ only by the 1-day span clamp.
+    EXPECT_LE(s.duration, f.duration + 1e-9);
+  }
 }
 
 TEST(Live, MetroSurvivesCsvRoundTrip) {
