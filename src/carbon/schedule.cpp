@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstddef>
 
+#include "topology/metro_registry.h"
 #include "util/error.h"
 
 namespace cl {
@@ -165,6 +166,27 @@ double CarbonScheduler::dual_grams(const HourlyTrafficGrid& hourly,
     grams += dual_intensity(user_g, serving_g) * spent.kwh();
   }
   return grams;
+}
+
+std::size_t metro_registry_index(const std::string& metro_name) {
+  const std::vector<std::string> names = MetroRegistry::instance().names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == metro_name) return i;
+  }
+  throw InvalidArgument("metro '" + metro_name +
+                        "' is not a registry preset (valid: " +
+                        MetroRegistry::instance().names_joined() + ")");
+}
+
+std::vector<const IntensityCurve*> serving_curves(
+    const std::string& home_metro, const IntensityCurve& user_curve) {
+  const IntensityRegistry& intensity = IntensityRegistry::instance();
+  std::vector<const IntensityCurve*> serving;
+  for (const std::string& name : MetroRegistry::instance().names()) {
+    serving.push_back(name == home_metro ? &user_curve
+                                         : &intensity.default_for_metro(name));
+  }
+  return serving;
 }
 
 ScheduleOutcome CarbonScheduler::assess(const HourlyTrafficGrid& unscheduled,

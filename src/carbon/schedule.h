@@ -93,6 +93,18 @@ struct ScheduleOutcome {
   double reduction = 0;      ///< 1 − scheduled_g / unscheduled_g
 };
 
+/// Index of a registered metro preset in registration order — the
+/// hop-distance coordinate green routing uses (the registry order is the
+/// metro chain). Throws cl::InvalidArgument for a non-preset name.
+[[nodiscard]] std::size_t metro_registry_index(const std::string& metro_name);
+
+/// The serving-grid candidates for green routing, index-aligned with the
+/// metro registry: each remote metro serves from its region's default
+/// grid, while the home slot carries the user-side curve itself (which
+/// may be a preset, the metro default, or a measured CSV curve).
+[[nodiscard]] std::vector<const IntensityCurve*> serving_curves(
+    const std::string& home_metro, const IntensityCurve& user_curve);
+
 /// Turns intensity curves into scheduling decisions. The user-side curve
 /// must outlive the scheduler.
 class CarbonScheduler {

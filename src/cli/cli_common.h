@@ -160,33 +160,9 @@ inline ScheduleConfig schedule_config_from(const Args& args) {
   return config;
 }
 
-/// Index of a registered metro preset in registration order — the
-/// hop-distance coordinate green routing uses (the registry order is the
-/// metro chain).
-inline std::size_t metro_registry_index(const std::string& metro_name) {
-  const std::vector<std::string> names = MetroRegistry::instance().names();
-  for (std::size_t i = 0; i < names.size(); ++i) {
-    if (names[i] == metro_name) return i;
-  }
-  throw InvalidArgument("metro '" + metro_name +
-                        "' is not a registry preset (valid: " +
-                        MetroRegistry::instance().names_joined() + ")");
-}
-
-/// The serving-grid candidates for green routing, index-aligned with the
-/// metro registry: each remote metro serves from its region's default
-/// grid, while the home slot carries the user-side curve itself (which
-/// may be a preset, the metro default, or a measured CSV curve).
-inline std::vector<const IntensityCurve*> serving_curves(
-    const std::string& home_metro, const IntensityCurve& user_curve) {
-  const IntensityRegistry& intensity = IntensityRegistry::instance();
-  std::vector<const IntensityCurve*> serving;
-  for (const std::string& name : MetroRegistry::instance().names()) {
-    serving.push_back(name == home_metro ? &user_curve
-                                         : &intensity.default_for_metro(name));
-  }
-  return serving;
-}
+// metro_registry_index / serving_curves moved to carbon/schedule.h (the
+// experiment runner routes cells through the same helpers); unqualified
+// calls below and in the cmd_*.cpp files resolve to the cl:: versions.
 
 /// Shared --threads knob: worker threads for sharded generation, the
 /// simulator's per-swarm sweep, and analysis (0 = all hardware threads;

@@ -109,6 +109,12 @@ commands:
   ledger    [--trace PATH] [--metro NAME] [--qb R] [--intensity NAME]
             [--schedule off|preload|route|all] [--latency-bound MS]
                                   per-user carbon credit ledger
+  experiment SPEC.json [--out-dir D] [--threads N] [--dry-run]
+                                  expand a JSON experiment spec into its
+                                  cell matrix and run every cell in
+                                  parallel (one BENCH_<spec>_<cell>.json
+                                  per cell + a manifest; --dry-run lists
+                                  the matrix without running)
 
 Full flag-by-flag reference with examples: docs/CLI.md (kept in lockstep
 with this help text by tools/check_cli_docs.py).

@@ -57,6 +57,13 @@ int cmd_live(const Args& args);
 ///   --trace PATH (or --preset), --metro NAME, --qb R
 int cmd_ledger(const Args& args);
 
+/// `experiment` — expand a JSON experiment spec (src/experiment/) into
+/// its cell matrix and run every cell in parallel, writing one
+/// BENCH_<spec>_<cell>.json per cell plus a BENCH_<spec>.json manifest.
+///   SPEC.json (positional, or --spec PATH), --out-dir D, --threads N,
+///   --dry-run (print the expanded matrix without running)
+int cmd_experiment(const Args& args);
+
 /// Prints usage to stdout; returns the given exit code.
 int usage(int exit_code);
 

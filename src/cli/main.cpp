@@ -10,6 +10,8 @@
 //   consumelocal ledger   --trace month.csv
 #include <exception>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "cli/commands.h"
 #include "util/args.h"
@@ -19,9 +21,17 @@ int main(int argc, char** argv) {
   using namespace cl;
   using namespace cl::cli;
   try {
-    const Args args = Args::parse(
-        argc, argv, {"cross-isp", "mixed-bitrate", "help", "overload",
-                     "quiet", "timing"});
+    std::vector<std::string> tokens(argc > 0 ? argv + 1 : argv, argv + argc);
+    // `experiment` takes its spec as a positional path (cl experiment
+    // spec.json); Args knows only the one leading subcommand word, so
+    // map the path onto the equivalent --spec flag before parsing.
+    if (tokens.size() >= 2 && tokens[0] == "experiment" &&
+        tokens[1].rfind("--", 0) != 0) {
+      tokens[1] = "--spec=" + tokens[1];
+    }
+    const Args args(std::move(tokens),
+                    {"cross-isp", "dry-run", "help", "mixed-bitrate",
+                     "overload", "quiet", "timing"});
     if (args.has("help")) return usage(0);
     const std::string& command = args.command();
     int code = 0;
@@ -41,6 +51,8 @@ int main(int argc, char** argv) {
       code = cmd_live(args);
     } else if (command == "ledger") {
       code = cmd_ledger(args);
+    } else if (command == "experiment") {
+      code = cmd_experiment(args);
     } else {
       if (!command.empty()) {
         std::cerr << "unknown command: '" << command << "'\n\n";

@@ -1,0 +1,191 @@
+#include "experiment/cell_runner.h"
+
+#include <cmath>
+#include <optional>
+
+#include "carbon/intensity_curve.h"
+#include "carbon/schedule.h"
+#include "core/analyzer.h"
+#include "energy/cost_functions.h"
+#include "energy/energy_params.h"
+#include "ext/adoption.h"
+#include "ext/edge_cache.h"
+#include "ext/preload.h"
+#include "sim/hybrid_sim.h"
+#include "topology/metro_registry.h"
+#include "trace/synthetic.h"
+#include "trace/trace_view.h"
+
+namespace cl {
+
+namespace {
+
+[[nodiscard]] bool schedule_preloads(const std::string& mode) {
+  return mode == "preload" || mode == "all";
+}
+
+[[nodiscard]] bool schedule_routes(const std::string& mode) {
+  return mode == "route" || mode == "all";
+}
+
+}  // namespace
+
+CellOutcome run_cell(const CellConfig& config, unsigned threads) {
+  CellOutcome outcome;
+  const Metro& metro = MetroRegistry::instance().get(config.metro);
+
+  // The intensity curve, resolved exactly as the CLI's --intensity flag
+  // (cli_common.h intensity_from) — except a CSV path loads into a local
+  // curve, because cells run concurrently and must not share caches.
+  std::optional<IntensityCurve> csv_curve;
+  const IntensityCurve* intensity = nullptr;
+  if (config.intensity == "metro") {
+    intensity = &IntensityRegistry::instance().default_for_metro(config.metro);
+  } else if (config.intensity != "none") {
+    if (const IntensityCurve* preset =
+            IntensityRegistry::instance().find(config.intensity)) {
+      intensity = preset;
+    } else {
+      csv_curve = IntensityCurve::from_csv(config.intensity);
+      intensity = &*csv_curve;
+    }
+  }
+
+  // The trace: the same scaled synthetic month a no---trace `cl simulate`
+  // generates (cli_common.h load_or_generate), with the population
+  // multiplied by the cell's scale knob.
+  Trace rows;
+  if (config.simulate || config.edge_cache > 0) {
+    TraceConfig trace_config = TraceConfig::london_month_scaled(config.days);
+    trace_config.metro = config.metro;
+    trace_config.seed = config.seed;
+    trace_config.threads = threads;
+    trace_config.users = static_cast<std::uint32_t>(
+        std::llround(trace_config.users * config.scale));
+    rows = TraceGenerator(trace_config, metro).generate();
+    if (config.preload) {
+      PreloadConfig preload;
+      preload.adoption = config.preload_adoption;
+      preload.window_start_hour = config.preload_start_hour;
+      preload.window_end_hour = config.preload_end_hour;
+      rows = apply_preload(rows, preload, config.seed);
+    }
+    outcome.sessions = static_cast<double>(rows.size());
+    outcome.metrics.set("sessions", outcome.sessions);
+  }
+
+  if (config.simulate) {
+    // From here the calls mirror cmd_simulate.cpp line for line — that
+    // is what makes a cell bit-identical to the standalone CLI run.
+    SimConfig sim_config;
+    sim_config.q_over_beta = config.qb;
+    sim_config.threads = threads;
+    const Analyzer analyzer(metro, sim_config);
+    SimConfig run_config = analyzer.sim_config();
+    run_config.collect_swarms = true;
+    run_config.collect_hourly = intensity != nullptr;
+    run_config.collect_per_user = false;
+    run_config.overload = config.overload;
+    outcome.sim = HybridSimulator(metro, run_config)
+                      .run(TraceView::from_trace(rows, threads), nullptr);
+    const SimResult& result = outcome.sim;
+
+    outcome.metrics.set("offload", result.offload());
+    for (const AggregateOutcome& aggregate : analyzer.aggregate(result)) {
+      outcome.metrics.set("savings_" + aggregate.model,
+                          aggregate.sim_savings);
+      outcome.metrics.set("theory_savings_" + aggregate.model,
+                          aggregate.theory_savings);
+    }
+    if (run_config.overload) {
+      outcome.metrics.set("overload_spill_gb",
+                          result.overload_spill.value() / 8e9);
+    }
+    if (intensity) {
+      for (const CarbonOutcome& carbon :
+           analyzer.carbon_report(result, *intensity)) {
+        outcome.metrics.set("carbon_savings_" + carbon.model,
+                            carbon.carbon_savings);
+        outcome.metrics.set("carbon_saved_g_" + carbon.model,
+                            carbon.saved_g);
+      }
+    }
+
+    if (config.schedule != "off") {
+      const CarbonScheduler scheduler(*intensity, ScheduleConfig{});
+      SimResult preloaded_result;
+      const SimResult* scheduled = &result;
+      if (schedule_preloads(config.schedule) && !scheduler.inert()) {
+        const Trace shifted = scheduler.schedule_preload(rows, config.seed);
+        preloaded_result =
+            HybridSimulator(metro, run_config)
+                .run(TraceView::from_trace(shifted, threads), nullptr);
+        scheduled = &preloaded_result;
+      }
+      const std::size_t home = metro_registry_index(metro.name());
+      const std::size_t hours = scheduled->hourly.size();
+      const RoutingPlan plan =
+          schedule_routes(config.schedule)
+              ? scheduler.plan_routes(serving_curves(metro.name(), *intensity),
+                                      home, hours)
+              : scheduler.home_plan(home, hours);
+      outcome.metrics.set("schedule_hours_routed_away",
+                          static_cast<double>(plan.hours_routed_away()));
+      outcome.metrics.set("schedule_mean_added_latency_ms",
+                          plan.mean_added_latency_ms());
+      outcome.metrics.set("schedule_scheduled_offload", scheduled->offload());
+      for (const auto& params : analyzer.models()) {
+        const EnergyAccountant accountant{CostFunctions(params)};
+        const ScheduleOutcome assessed = scheduler.assess(
+            result.hourly, scheduled->hourly, accountant, plan);
+        outcome.metrics.set("schedule_reduction_" + params.name,
+                            assessed.reduction);
+        outcome.metrics.set("schedule_scheduled_g_" + params.name,
+                            assessed.scheduled_g);
+      }
+    }
+  }
+
+  if (config.adoption > 0) {
+    // The incentive fixed point, as bench/ablation_adoption.cpp runs it
+    // (same thresholds, same seed participation, same ISP-0 tree).
+    for (const auto& params : standard_params()) {
+      const AdoptionModel model(SavingsModel(params, metro.isp(0)));
+      AdoptionConfig adoption;
+      adoption.swarm_capacity = config.adoption;
+      adoption.q_over_beta = config.qb;
+      adoption.uniform_thresholds(2000, -0.5, 0.5);
+      const AdoptionResult result = model.solve(adoption);
+      outcome.metrics.set("participation_" + params.name,
+                          result.participation);
+      outcome.metrics.set("adoption_cct_" + params.name, result.cct);
+      outcome.metrics.set("adoption_offload_" + params.name, result.offload);
+      outcome.metrics.set("adoption_savings_" + params.name, result.savings);
+    }
+  }
+
+  if (config.edge_cache > 0) {
+    // ExP LRU caches, as bench/ablation_edge_cache.cpp runs them (no
+    // metric collection in the miss simulation).
+    SimConfig cache_sim;
+    cache_sim.q_over_beta = config.qb;
+    cache_sim.threads = threads;
+    cache_sim.collect_hourly = false;
+    cache_sim.collect_per_user = false;
+    cache_sim.collect_swarms = false;
+    EdgeCacheConfig cache_config;
+    cache_config.capacity_per_exp = config.edge_cache;
+    cache_config.misses_use_p2p = config.edge_cache_p2p;
+    const EdgeCacheOutcome cached =
+        EdgeCacheSimulator(metro, cache_sim, cache_config).run(rows);
+    outcome.metrics.set("cache_hit_rate", cached.hit_rate());
+    for (const auto& params : standard_params()) {
+      outcome.metrics.set("cache_savings_" + params.name,
+                          EdgeCacheSimulator::savings(cached, params));
+    }
+  }
+
+  return outcome;
+}
+
+}  // namespace cl

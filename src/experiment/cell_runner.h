@@ -1,0 +1,40 @@
+// cell_runner.h — executes one ExperimentCell against the library.
+//
+// A cell run is the library-level twin of a `cl simulate` invocation with
+// the equivalent flags: the same trace generation, the same SimConfig,
+// the same analyzer/scheduler calls in the same order — so its SimResult
+// is bit-identical to the CLI's (tests/test_experiment.cpp pins this at
+// several --threads values). On top of the simulate core it runs the
+// extension subsystems a cell may enable (adoption fixed point, edge
+// caches, preload transform), mirroring the bench binaries' calls so a
+// spec cell reproduces bench numbers exactly.
+#pragma once
+
+#include <string>
+
+#include "experiment/experiment_spec.h"
+#include "sim/metrics.h"
+#include "util/json_writer.h"
+
+namespace cl {
+
+/// Everything one cell run produced.
+struct CellOutcome {
+  /// Key model outputs, BENCH_*.json "metrics"-object shaped, rendered
+  /// with the same deterministic writer the benches use.
+  JsonObject metrics;
+  double sessions = 0;  ///< sessions simulated (throughput denominator)
+  /// The simulator result (CellConfig::simulate cells only) — parity
+  /// tests compare it field-for-field against a standalone simulate run.
+  SimResult sim;
+};
+
+/// Runs one cell with `threads` worker threads (0 = all cores). Results
+/// are bit-identical for every thread count (the determinism contract of
+/// every subsystem a cell composes) and depend only on the cell config —
+/// cells are independent, so the experiment runner executes them
+/// concurrently.
+[[nodiscard]] CellOutcome run_cell(const CellConfig& config,
+                                   unsigned threads);
+
+}  // namespace cl

@@ -1,0 +1,52 @@
+// experiment_runner.h — executes an ExperimentSpec's cells in parallel.
+//
+// Cells are independent (each generates its own trace and composes its
+// own subsystems — see cell_runner.h), so the runner fans them out over
+// util/parallel.h's work-stealing reduction with one cell per chunk and
+// merges the records in ascending cell order: the manifest and every
+// per-cell file are byte-identical for any worker count. Each cell
+// writes BENCH_<spec>_<slug>.json in the bench_json.h shape, and the run
+// finishes with a BENCH_<spec>.json manifest naming every cell file.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "experiment/cell_runner.h"
+#include "experiment/experiment_spec.h"
+
+namespace cl {
+
+struct ExperimentRunConfig {
+  std::string out_dir = ".";  ///< created if missing
+  /// Worker threads (0 = all cores): up to this many cells run at once,
+  /// and each cell's inner stages share the remaining parallelism.
+  unsigned threads = 0;
+};
+
+/// One executed cell, as recorded in the manifest.
+struct CellRunRecord {
+  ExperimentCell cell;
+  CellOutcome outcome;
+  std::string file;  ///< BENCH file name (relative to out_dir)
+  double wall_seconds = 0;
+};
+
+struct ExperimentRunResult {
+  std::vector<CellRunRecord> cells;  ///< in cell-index order
+  std::string manifest_path;
+  double wall_seconds = 0;
+};
+
+/// Prints the expanded matrix (the `--dry-run` listing): one line per
+/// cell with its slug and axis values, plus the cell count.
+void print_matrix(std::ostream& out, const ExperimentSpec& spec);
+
+/// Runs every cell and writes the per-cell files plus the manifest.
+/// `progress` (optional) receives one line per finished cell.
+[[nodiscard]] ExperimentRunResult run_experiment(
+    const ExperimentSpec& spec, const ExperimentRunConfig& config,
+    std::ostream* progress = nullptr);
+
+}  // namespace cl

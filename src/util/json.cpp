@@ -1,0 +1,369 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace cl {
+
+namespace {
+
+[[nodiscard]] std::string describe_byte(char c) {
+  if (std::isprint(static_cast<unsigned char>(c))) {
+    return std::string("'") + c + "'";
+  }
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "byte 0x%02x",
+                static_cast<unsigned char>(c));
+  return buf;
+}
+
+}  // namespace
+
+/// Recursive-descent parser over one in-memory document.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  [[nodiscard]] JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_whitespace();
+    if (pos_ < text_.size()) {
+      fail("trailing content after the JSON document");
+    }
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("JSON parse error at line " + std::to_string(line_) +
+                     ", column " + std::to_string(column_) + ": " + message);
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  char advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void skip_whitespace() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void expect(char wanted, const char* context) {
+    if (at_end()) {
+      fail(std::string("unexpected end of input (expected '") + wanted +
+           "' " + context + ")");
+    }
+    if (peek() != wanted) {
+      fail(std::string("expected '") + wanted + "' " + context + ", got " +
+           describe_byte(peek()));
+    }
+    advance();
+  }
+
+  void expect_literal(const char* literal) {
+    for (const char* p = literal; *p != '\0'; ++p) {
+      if (at_end() || peek() != *p) {
+        fail(std::string("invalid literal (expected \"") + literal + "\")");
+      }
+      advance();
+    }
+  }
+
+  [[nodiscard]] JsonValue stamped(JsonValue::Kind kind) const {
+    JsonValue v;
+    v.kind_ = kind;
+    v.line_ = line_;
+    v.column_ = column_;
+    return v;
+  }
+
+  [[nodiscard]] JsonValue parse_value() {
+    skip_whitespace();
+    if (at_end()) fail("unexpected end of input (expected a value)");
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't': {
+        JsonValue v = stamped(JsonValue::Kind::kBool);
+        expect_literal("true");
+        v.bool_ = true;
+        return v;
+      }
+      case 'f': {
+        JsonValue v = stamped(JsonValue::Kind::kBool);
+        expect_literal("false");
+        v.bool_ = false;
+        return v;
+      }
+      case 'n': {
+        JsonValue v = stamped(JsonValue::Kind::kNull);
+        expect_literal("null");
+        return v;
+      }
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+        fail("unexpected " + describe_byte(c) + " (expected a value)");
+    }
+  }
+
+  [[nodiscard]] JsonValue parse_object() {
+    JsonValue v = stamped(JsonValue::Kind::kObject);
+    v.object_ =
+        std::make_shared<std::vector<std::pair<std::string, JsonValue>>>();
+    expect('{', "to open an object");
+    skip_whitespace();
+    if (!at_end() && peek() == '}') {
+      advance();
+      return v;
+    }
+    while (true) {
+      skip_whitespace();
+      if (at_end() || peek() != '"') {
+        fail("expected a quoted object key");
+      }
+      JsonValue key = parse_string();
+      skip_whitespace();
+      expect(':', "after an object key");
+      v.object_->emplace_back(key.text_, parse_value());
+      skip_whitespace();
+      if (at_end()) fail("unexpected end of input inside an object");
+      if (peek() == ',') {
+        advance();
+        continue;
+      }
+      expect('}', "to close an object");
+      return v;
+    }
+  }
+
+  [[nodiscard]] JsonValue parse_array() {
+    JsonValue v = stamped(JsonValue::Kind::kArray);
+    v.array_ = std::make_shared<std::vector<JsonValue>>();
+    expect('[', "to open an array");
+    skip_whitespace();
+    if (!at_end() && peek() == ']') {
+      advance();
+      return v;
+    }
+    while (true) {
+      v.array_->push_back(parse_value());
+      skip_whitespace();
+      if (at_end()) fail("unexpected end of input inside an array");
+      if (peek() == ',') {
+        advance();
+        continue;
+      }
+      expect(']', "to close an array");
+      return v;
+    }
+  }
+
+  [[nodiscard]] JsonValue parse_string() {
+    JsonValue v = stamped(JsonValue::Kind::kString);
+    expect('"', "to open a string");
+    std::string out;
+    while (true) {
+      if (at_end()) fail("unterminated string");
+      const char c = advance();
+      if (c == '"') break;
+      if (c == '\n') fail("raw newline inside a string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_end()) fail("unterminated escape sequence");
+      const char esc = advance();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (at_end()) fail("unterminated \\u escape");
+            const char h = advance();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("invalid hex digit in \\u escape");
+            }
+          }
+          // Specs are ASCII-leaning config files; encode the code point
+          // as UTF-8 (surrogate pairs are beyond what a spec needs and
+          // are rejected rather than silently mangled).
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            fail("\\u surrogate escapes are not supported");
+          }
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail(std::string("invalid escape sequence \\") + esc);
+      }
+    }
+    v.text_ = std::move(out);
+    return v;
+  }
+
+  [[nodiscard]] JsonValue parse_number() {
+    JsonValue v = stamped(JsonValue::Kind::kNumber);
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') advance();
+    if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      fail("invalid number (expected a digit)");
+    }
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      advance();
+    }
+    if (!at_end() && peek() == '.') {
+      advance();
+      if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("invalid number (expected a digit after '.')");
+      }
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        advance();
+      }
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      advance();
+      if (!at_end() && (peek() == '+' || peek() == '-')) advance();
+      if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("invalid number (expected an exponent digit)");
+      }
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        advance();
+      }
+    }
+    v.text_ = text_.substr(start, pos_ - start);
+    const auto res = std::from_chars(v.text_.data(),
+                                     v.text_.data() + v.text_.size(),
+                                     v.number_);
+    if (res.ec != std::errc() ||
+        res.ptr != v.text_.data() + v.text_.size()) {
+      fail("number '" + v.text_ + "' is out of range");
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+JsonValue JsonValue::parse(const std::string& text) {
+  return JsonParser(text).parse_document();
+}
+
+JsonValue JsonValue::parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw ParseError("cannot read JSON file '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return parse(buffer.str());
+  } catch (const ParseError& e) {
+    throw ParseError(path + ": " + e.what());
+  }
+}
+
+const char* JsonValue::kind_name() const {
+  switch (kind_) {
+    case Kind::kNull: return "null";
+    case Kind::kBool: return "boolean";
+    case Kind::kNumber: return "number";
+    case Kind::kString: return "string";
+    case Kind::kArray: return "array";
+    case Kind::kObject: return "object";
+  }
+  return "value";
+}
+
+namespace {
+
+[[noreturn]] void kind_error(const JsonValue& v, const char* wanted) {
+  throw ParseError(std::string("expected ") + wanted + " at line " +
+                   std::to_string(v.line()) + ", column " +
+                   std::to_string(v.column()) + ", got " + v.kind_name());
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (!is_bool()) kind_error(*this, "a boolean");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (!is_number()) kind_error(*this, "a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (!is_string()) kind_error(*this, "a string");
+  return text_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  if (!is_array()) kind_error(*this, "an array");
+  return *array_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::as_object()
+    const {
+  if (!is_object()) kind_error(*this, "an object");
+  return *object_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [name, value] : *object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+}  // namespace cl

@@ -1,0 +1,85 @@
+// json.h — minimal JSON reader for declarative configuration files.
+//
+// The experiment runner (src/experiment/) consumes hand-written spec
+// files, so the parser favours precise error messages over speed: every
+// failure carries the 1-based line/column of the offending byte. The
+// supported grammar is RFC 8259 JSON with two deliberate deviations:
+//
+//  * object keys keep their textual order (specs are documents, not
+//    hash maps — axis declaration order defines the matrix order);
+//  * duplicate keys are preserved, not last-wins — consumers that want
+//    to reject duplicates (the spec loader does) can see them.
+//
+// No third-party dependency, mirroring the writer in util/json_writer.h.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cl {
+
+/// One parsed JSON value. Numbers are stored as double plus their source
+/// text, so integer-valued fields can round-trip exactly and error
+/// messages can quote what the user actually wrote.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses a complete JSON document (trailing garbage is an error).
+  /// Throws cl::ParseError with line/column context on malformed input.
+  [[nodiscard]] static JsonValue parse(const std::string& text);
+
+  /// Reads and parses `path`; a missing/unreadable file is a ParseError.
+  [[nodiscard]] static JsonValue parse_file(const std::string& path);
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// A short human name of the kind ("object", "number", ...), for
+  /// "expected X, got Y" diagnostics.
+  [[nodiscard]] const char* kind_name() const;
+
+  /// Accessors throw cl::ParseError when the kind does not match.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>&
+  as_object() const;
+
+  /// The raw source text of a number literal ("0.5", "42"), or the
+  /// string payload — the canonical form spec slugs are built from.
+  [[nodiscard]] const std::string& text() const { return text_; }
+
+  /// First member named `key`, or nullptr (objects only).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  /// 1-based source position of this value's first byte.
+  [[nodiscard]] std::size_t line() const { return line_; }
+  [[nodiscard]] std::size_t column() const { return column_; }
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string text_;  // string payload, or the number's source literal
+  // Indirection keeps JsonValue movable/copyable without recursive
+  // value members (vector<JsonValue> inside JsonValue is fine, but the
+  // shared_ptr keeps copies of parsed specs cheap).
+  std::shared_ptr<std::vector<JsonValue>> array_;
+  std::shared_ptr<std::vector<std::pair<std::string, JsonValue>>> object_;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+}  // namespace cl

@@ -1,0 +1,129 @@
+// json_writer.h — deterministic JSON output.
+//
+// Extracted from bench/bench_json.h so library code (the experiment
+// runner's per-cell BENCH_*.json files and manifest) and the bench
+// harness share one writer. No third-party JSON dependency: this covers
+// exactly the subset needed — insertion-ordered objects, arrays of
+// numbers/strings/objects, strings, finite/non-finite doubles — with
+// deterministic formatting, so identical inputs render byte-identical
+// documents.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cl {
+
+/// Escapes a string for inclusion in a JSON document (quotes included).
+inline std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// Renders a double as a JSON number (round-trip precision); non-finite
+/// values become null, as JSON has no representation for them.
+inline std::string json_number(double x) {
+  if (!std::isfinite(x)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", x);
+  return buf;
+}
+
+/// Insertion-ordered JSON object builder.
+class JsonObject {
+ public:
+  void set(const std::string& key, double value) {
+    put(key, json_number(value));
+  }
+  void set(const std::string& key, std::int64_t value) {
+    put(key, std::to_string(value));
+  }
+  void set(const std::string& key, std::size_t value) {
+    put(key, std::to_string(value));
+  }
+  void set(const std::string& key, const char* value) {
+    put(key, json_quote(value));
+  }
+  void set(const std::string& key, const std::string& value) {
+    put(key, json_quote(value));
+  }
+  void set(const std::string& key, const JsonObject& value) {
+    put(key, value.render());
+  }
+  void set(const std::string& key, const std::vector<double>& values) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i) out += ", ";
+      out += json_number(values[i]);
+    }
+    out += ']';
+    put(key, out);
+  }
+  void set(const std::string& key, const std::vector<std::string>& values) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i) out += ", ";
+      out += json_quote(values[i]);
+    }
+    out += ']';
+    put(key, out);
+  }
+  void set(const std::string& key, const std::vector<JsonObject>& values) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i) out += ", ";
+      out += values[i].render();
+    }
+    out += ']';
+    put(key, out);
+  }
+
+  [[nodiscard]] bool empty() const { return fields_.empty(); }
+
+  [[nodiscard]] std::string render() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i) out += ", ";
+      out += json_quote(fields_[i].first) + ": " + fields_[i].second;
+    }
+    out += '}';
+    return out;
+  }
+
+ private:
+  void put(const std::string& key, std::string rendered) {
+    for (auto& field : fields_) {
+      if (field.first == key) {
+        field.second = std::move(rendered);
+        return;
+      }
+    }
+    fields_.emplace_back(key, std::move(rendered));
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace cl

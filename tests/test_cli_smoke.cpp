@@ -547,6 +547,63 @@ TEST(CliSmoke, IntensityAcceptsCsvFilePath) {
   std::filesystem::remove(trace);
 }
 
+TEST(CliSmoke, ExperimentDryRunListsMatrix) {
+  const RunResult result = run_cli(
+      "experiment " + std::string(CL_TEST_DATA_DIR) +
+      "/golden_spec.json --dry-run");
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_NE(result.output.find("experiment 'golden_spec': 1 cell"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("[0] base"), std::string::npos);
+}
+
+TEST(CliSmoke, ExperimentMissingSpecPathExits2WithUsage) {
+  const RunResult result = run_cli("experiment");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("missing spec path"), std::string::npos);
+  EXPECT_NE(result.output.find("usage:"), std::string::npos);
+}
+
+TEST(CliSmoke, ExperimentMissingSpecFileExits2) {
+  const RunResult result = run_cli("experiment /nonexistent/spec.json");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("cannot read JSON file"), std::string::npos);
+}
+
+TEST(CliSmoke, ExperimentUnknownFlagErrors) {
+  const RunResult result = run_cli(
+      "experiment " + std::string(CL_TEST_DATA_DIR) +
+      "/golden_spec.json --dry-run --bogus 1");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("unknown flag --bogus"), std::string::npos);
+}
+
+TEST(CliSmoke, ExperimentWritesManifestAndCellFilesToOutDir) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "cl_smoke_experiment";
+  fs::remove_all(dir);
+  const fs::path spec = fs::temp_directory_path() / "cl_smoke_spec.json";
+  {
+    std::ofstream out(spec);
+    out << R"({"name": "smoketest", "base": {"simulate": "off"},
+               "axes": {"adoption": [50]}})";
+  }
+  const RunResult result = run_cli("experiment " + spec.string() +
+                                   " --out-dir " + dir.string());
+  ASSERT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_TRUE(fs::exists(dir / "BENCH_smoketest.json"));
+  EXPECT_TRUE(fs::exists(dir / "BENCH_smoketest_adoption-50.json"));
+  std::ifstream manifest(dir / "BENCH_smoketest.json");
+  std::stringstream contents;
+  contents << manifest.rdbuf();
+  EXPECT_NE(contents.str().find("\"bench\": \"smoketest\""),
+            std::string::npos);
+  EXPECT_NE(contents.str().find("BENCH_smoketest_adoption-50.json"),
+            std::string::npos);
+  fs::remove_all(dir);
+  fs::remove(spec);
+}
+
 TEST(CliSmoke, IntensityUnknownNameStillListsPresets) {
   // The CSV branch must not swallow the unknown-preset error for names
   // that are not files.
